@@ -1,0 +1,220 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates the corresponding result on the device model; the
+// expensive GENESIS preparation is done once outside the timed region.
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/harness"
+	sonicpkg "repro/internal/sonic"
+)
+
+var (
+	prepOnce sync.Once
+	prepped  []*harness.Prepared
+	prepEval *harness.Eval
+	prepErr  error
+)
+
+// prepare runs the quick GENESIS sweep for all three networks and measures
+// every (runtime, power) cell once.
+func prepare(b *testing.B) ([]*harness.Prepared, *harness.Eval) {
+	b.Helper()
+	prepOnce.Do(func() {
+		prepped, prepErr = harness.PrepareAll(harness.PrepareOptions{Seed: 1, Quick: true})
+		if prepErr != nil {
+			return
+		}
+		prepEval, prepErr = harness.RunAll(prepped)
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	return prepped, prepEval
+}
+
+// BenchmarkFig1 regenerates Fig. 1: IMpJ vs accuracy sending full images.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Fig1(100); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2: IMpJ vs accuracy sending results only.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Fig2(100); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the application-model parameter table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Table1(); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the network/compression summary (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	ps, _ := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Table2(ps); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the accuracy-vs-MACs sweeps (Fig. 4a-c),
+// including the full GENESIS evaluation pipeline for one network per
+// iteration.
+func BenchmarkFig4(b *testing.B) {
+	ps, _ := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if tab := harness.Fig4(p); len(tab.Rows) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the IMpJ-vs-energy selections (Fig. 5a-c).
+func BenchmarkFig5(b *testing.B) {
+	ps, _ := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if tab := harness.Fig5(p); len(tab.Rows) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the tiling-vs-loop-continuation microbenchmark.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Fig6(1000, 55); len(tab.Rows) != 3 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkFig9 measures inference time for all six implementations on all
+// four power systems across the three networks — the paper's headline
+// figure. One iteration is the full 72-cell measurement matrix.
+func BenchmarkFig9(b *testing.B) {
+	ps, _ := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := harness.RunAll(ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tab := harness.Fig9(ev); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the kernel/control split per layer.
+func BenchmarkFig10(b *testing.B) {
+	_, ev := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Fig10(ev); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates inference energy on the 1 mF system.
+func BenchmarkFig11(b *testing.B) {
+	_, ev := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Fig11(ev); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates SONIC's per-operation energy breakdown.
+func BenchmarkFig12(b *testing.B) {
+	_, ev := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Fig12(ev); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkClaims recomputes the §9.1 headline ratios.
+func BenchmarkClaims(b *testing.B) {
+	_, ev := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Claims(ev); len(tab.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAblation measures the TAILS LEA/DMA ablation (§9.1).
+func BenchmarkAblation(b *testing.B) {
+	ps, _ := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Ablation(ps[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSparseUndoLogging measures the design-choice ablation of
+// §6.2.2: SONIC's sparse undo-logging versus loop-ordered buffering on the
+// sparse fully-connected layers.
+func BenchmarkAblationSparseUndoLogging(b *testing.B) {
+	ps, _ := prepare(b)
+	p := ps[1] // har: sparse-FC heavy
+	input := p.Model.QuantizeInput(p.Input)
+	cont := harness.Powers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rt := range []repro.Runtime{sonicpkg.SONIC{}, sonicpkg.SONIC{SparseViaBuffering: true}} {
+			if _, err := harness.Measure(p.Net, p.Model, rt, cont, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExtensions measures the checkpointing-baseline comparison (§2)
+// and the §10 JIT index-checkpoint architecture estimate.
+func BenchmarkExtensions(b *testing.B) {
+	ps, _ := prepare(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Extensions(ps[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command infer deploys a quantized model onto the simulated device and
+// runs inference under a chosen runtime and power system, reporting the
+// classification, timing, energy, and reboot statistics.
+//
+// Usage:
+//
+//	infer -model har.qmodel -runtime sonic -power 100uF -n 5
+//
+// If -model is omitted, a model is prepared on the fly with a quick
+// GENESIS run for -net.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+	"repro/internal/sonic"
+	"repro/internal/tails"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "quantized model file (from cmd/genesis)")
+		net       = flag.String("net", "har", "network/dataset if no -model given")
+		rtName    = flag.String("runtime", "sonic", "base, tile-8, tile-32, tile-128, sonic, tails")
+		pwName    = flag.String("power", "100uF", "cont, 50mF, 1mF, 100uF")
+		n         = flag.Int("n", 5, "number of test samples to classify")
+		seed      = flag.Uint64("seed", 2, "dataset seed for test samples")
+	)
+	flag.Parse()
+
+	var qm *dnn.QuantModel
+	var err error
+	if *modelPath != "" {
+		qm, err = dnn.LoadQuantFile(*modelPath)
+		if err != nil {
+			fail(err)
+		}
+		*net = qm.Name
+	} else {
+		fmt.Printf("no -model given; preparing %s with a quick GENESIS run...\n", *net)
+		p, perr := harness.Prepare(*net, harness.PrepareOptions{Seed: 1, Quick: true})
+		if perr != nil {
+			fail(perr)
+		}
+		qm = p.Model
+	}
+
+	rt := runtimeByName(*rtName)
+	if rt == nil {
+		fail(fmt.Errorf("unknown runtime %q", *rtName))
+	}
+	pw := powerByName(*pwName)
+	if pw == nil {
+		fail(fmt.Errorf("unknown power system %q", *pwName))
+	}
+
+	ds, err := dnn.DatasetFor(qm.Name, *seed, 1, *n)
+	if err != nil {
+		fail(err)
+	}
+	dev := mcu.New(pw())
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s, model %s (%d MACs, %d weight bytes), runtime %s, power %s\n",
+		dev, qm.Name, qm.MACs(), qm.WeightWords()*2, rt.Name(), *pwName)
+
+	names := dataset.ClassNames(dsName(qm.Name))
+	correct := 0
+	for i, ex := range ds.Test {
+		before := *dev.Stats()
+		logits, err := rt.Infer(img, qm.QuantizeInput(ex.X))
+		if err != nil {
+			fmt.Printf("sample %d: %v\n", i, err)
+			os.Exit(2)
+		}
+		st := dev.Stats()
+		pred := core.Argmax(logits)
+		mark := " "
+		if pred == ex.Label {
+			correct++
+			mark = "*"
+		}
+		fmt.Printf("sample %d: predicted %-10s truth %-10s %s  (%.1f ms live, %d reboots, %.2f mJ)\n",
+			i, className(names, pred), className(names, ex.Label), mark,
+			(st.LiveSeconds(dev.Cost.ClockHz)-before.LiveSeconds(dev.Cost.ClockHz))*1e3,
+			st.Reboots-before.Reboots,
+			(st.EnergyNJ-before.EnergyNJ)*1e-6)
+	}
+	fmt.Printf("accuracy %d/%d; totals: %.3f s live, %.3f s dead, %d reboots, %.2f mJ\n",
+		correct, len(ds.Test),
+		dev.Stats().LiveSeconds(dev.Cost.ClockHz), dev.Stats().DeadSeconds,
+		dev.Stats().Reboots, dev.Stats().EnergyMJ())
+}
+
+func runtimeByName(name string) core.Runtime {
+	switch name {
+	case "base":
+		return baseline.Base{}
+	case "tile-8":
+		return baseline.Tile{TileSize: 8}
+	case "tile-32":
+		return baseline.Tile{TileSize: 32}
+	case "tile-128":
+		return baseline.Tile{TileSize: 128}
+	case "sonic":
+		return sonic.SONIC{}
+	case "tails":
+		return tails.TAILS{}
+	}
+	return nil
+}
+
+func powerByName(name string) func() energy.System {
+	for _, p := range harness.Powers() {
+		if p.Name == name {
+			return p.Make
+		}
+	}
+	return nil
+}
+
+// dsName maps model names to dataset names.
+func dsName(model string) string {
+	if model == "mnist" {
+		return "digits"
+	}
+	return model
+}
+
+func className(names []string, c int) string {
+	if c >= 0 && c < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("#%d", c)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "infer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command train trains one of the reference networks (mnist, har, okg) on
+// its synthetic dataset and optionally saves the trained float network.
+//
+// Usage:
+//
+//	train -net har -epochs 4 -train 1200 -test 300 -out har.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dnn"
+)
+
+func main() {
+	var (
+		net    = flag.String("net", "har", "network/dataset: mnist, har, okg")
+		epochs = flag.Int("epochs", 4, "training epochs")
+		trainN = flag.Int("train", 1200, "training samples")
+		testN  = flag.Int("test", 300, "test samples")
+		seed   = flag.Uint64("seed", 1, "rng seed")
+		out    = flag.String("out", "", "path to save the trained network (gob)")
+	)
+	flag.Parse()
+
+	ds, err := dnn.DatasetFor(*net, *seed, *trainN, *testN)
+	if err != nil {
+		fail(err)
+	}
+	n, err := dnn.NetworkFor(*net, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(ds)
+	fmt.Print(n.Summary())
+
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = *epochs
+	cfg.Seed = *seed
+	cfg.Verbose = true
+	fmt.Printf("training for %d epochs...\n", *epochs)
+	loss := dnn.Train(n, ds, cfg)
+	acc := dnn.Evaluate(n, ds.Test)
+	fmt.Printf("final loss %.4f, test accuracy %.2f%%\n", loss, acc*100)
+
+	if *out != "" {
+		if err := n.SaveFile(*out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved to %s\n", *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
+}

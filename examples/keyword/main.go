@@ -1,0 +1,70 @@
+// Keyword spotting with hardware acceleration. A batteryless voice badge
+// recognizes twelve keywords from spectrogram patches. The example deploys
+// the GENESIS-compressed network and compares SONIC against TAILS on the
+// same device, showing TAILS's one-time tile calibration (§7.1) and the
+// DMA+LEA speedup on the separated convolution and dense layers.
+//
+//	go run ./examples/keyword
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("preparing the keyword-spotting network with GENESIS...")
+	model, err := repro.TrainAndCompress("okg", repro.QuickOptions("okg"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := repro.NewDataset("okg", 777, 1, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := repro.ClassNames("okg")
+
+	type outcome struct {
+		name    string
+		correct int
+		energy  float64
+		reboots int
+	}
+	var outcomes []outcome
+	for _, rt := range []repro.Runtime{repro.SONIC(), repro.TAILS()} {
+		dev := repro.NewDevice(repro.Intermittent100uF())
+		img, err := repro.Deploy(dev, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := outcome{name: rt.Name()}
+		for i, ex := range ds.Test {
+			logits, err := rt.Infer(img, model.QuantizeInput(ex.X))
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred := repro.Argmax(logits)
+			if pred == ex.Label {
+				o.correct++
+			}
+			if rt.Name() == "tails" {
+				fmt.Printf("  heard %-8q -> %-8q\n", names[ex.Label], names[pred])
+			}
+			_ = i
+		}
+		o.energy = dev.Stats().EnergyMJ()
+		o.reboots = dev.Stats().Reboots
+		outcomes = append(outcomes, o)
+	}
+
+	fmt.Println()
+	for _, o := range outcomes {
+		fmt.Printf("%-6s: %2d/%d correct, %.2f mJ, %d power failures\n",
+			o.name, o.correct, len(ds.Test), o.energy, o.reboots)
+	}
+	fmt.Printf("\nTAILS used %.0f%% of SONIC's energy for the same stream\n",
+		100*outcomes[1].energy/outcomes[0].energy)
+	fmt.Println("(the first TAILS inference also ran the one-time LEA tile calibration)")
+}

@@ -1,0 +1,60 @@
+// Quickstart: train + compress a network with GENESIS, deploy it onto the
+// simulated energy-harvesting device, and run intermittence-safe inference
+// with SONIC on the smallest (100 µF) power system.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. GENESIS: train the human-activity-recognition network on the
+	// synthetic accelerometer dataset, sweep compression configurations,
+	// and pick the one that maximizes IMpJ under the FRAM budget.
+	fmt.Println("running GENESIS (quick budgets)...")
+	model, err := repro.TrainAndCompress("har", repro.QuickOptions("har"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen model: %d MACs, %d bytes of weights\n",
+		model.MACs(), model.WeightWords()*2)
+
+	// 2. Deploy onto a device powered by RF harvesting with a 100 µF
+	// capacitor — the buffer holds only a few thousand operations, so the
+	// device power-fails hundreds of times during one inference.
+	dev := repro.NewDevice(repro.Intermittent100uF())
+	img, err := repro.Deploy(dev, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Classify a few fresh samples with SONIC. Loop continuation
+	// checkpoints progress after every loop iteration, so every inference
+	// completes and produces exactly the continuous-power answer.
+	ds, err := repro.NewDataset("har", 42, 1, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := repro.ClassNames("har")
+	correct := 0
+	for i, ex := range ds.Test {
+		logits, err := repro.SONIC().Infer(img, model.QuantizeInput(ex.X))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := repro.Argmax(logits)
+		if pred == ex.Label {
+			correct++
+		}
+		fmt.Printf("sample %d: predicted %-10s (truth %s)\n", i, names[pred], names[ex.Label])
+	}
+	st := dev.Stats()
+	fmt.Printf("\n%d/%d correct — %.3f s live, %.3f s recharging, %d power failures, %.2f mJ\n",
+		correct, len(ds.Test),
+		st.LiveSeconds(dev.Cost.ClockHz), st.DeadSeconds, st.Reboots, st.EnergyMJ())
+}

@@ -1,0 +1,155 @@
+// Package app is the end-to-end IoT application layer the paper's §3
+// motivates: a battery-less sensing device that harvests energy, takes
+// readings, runs local inference to decide which readings are interesting,
+// and communicates only those. It turns the analytical IMpJ model
+// (internal/imodel) into a simulated deployment: sensing and communication
+// energies are drawn from the same harvested-energy ledger as inference,
+// and the pipeline reports how many interesting messages a fixed energy
+// budget delivered.
+//
+// The package is the library form of the case study in
+// examples/wildlife; its tests validate that the closed-form Eq. 3
+// prediction matches the simulated deployment.
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/imodel"
+	"repro/internal/mcu"
+)
+
+// Event is one sensor reading with ground truth.
+type Event struct {
+	X     []float64
+	Label int
+}
+
+// Source produces the event stream (e.g. a seeded synthetic camera trap).
+type Source interface {
+	Next() Event
+}
+
+// Config describes the deployment.
+type Config struct {
+	// Runtime executes inference on the deployed image; nil disables local
+	// inference (the "always send" baseline).
+	Runtime core.Runtime
+	// Interesting is the class worth communicating.
+	Interesting int
+	// ESenseJ and ECommJ are the §3 energy costs in Joules.
+	ESenseJ, ECommJ float64
+	// Oracle short-circuits inference with ground truth (Eq. 2's ideal).
+	Oracle bool
+}
+
+// Tally is the outcome of a deployment run.
+type Tally struct {
+	Events          int
+	Sent            int
+	InterestingSent int
+	MissedPositives int // interesting events filtered out (false negatives)
+	SenseJ          float64
+	CommJ           float64
+	InferJ          float64
+	Reboots         int
+}
+
+// IMpJ returns interesting messages delivered per Joule spent.
+func (t Tally) IMpJ() float64 {
+	total := t.SenseJ + t.CommJ + t.InferJ
+	if total == 0 {
+		return 0
+	}
+	return float64(t.InterestingSent) / total
+}
+
+// Pipeline is a deployed sensing application.
+type Pipeline struct {
+	cfg   Config
+	dev   *mcu.Device
+	img   *core.Image
+	model *dnn.QuantModel
+}
+
+// New deploys the model (if the config uses local inference) and returns a
+// ready pipeline.
+func New(dev *mcu.Device, model *dnn.QuantModel, cfg Config) (*Pipeline, error) {
+	p := &Pipeline{cfg: cfg, dev: dev, model: model}
+	if cfg.Runtime != nil {
+		img, err := core.Deploy(dev, model)
+		if err != nil {
+			return nil, fmt.Errorf("app: %w", err)
+		}
+		p.img = img
+	}
+	return p, nil
+}
+
+// Run consumes events from src until budgetJ Joules of harvested energy
+// (sensing + inference + communication) are spent, and returns the tally.
+func (p *Pipeline) Run(src Source, budgetJ float64) (Tally, error) {
+	var t Tally
+	rebootsBefore := p.dev.Stats().Reboots
+	spend := func(j float64) bool {
+		if t.SenseJ+t.CommJ+t.InferJ+j > budgetJ {
+			return false
+		}
+		return true
+	}
+	for {
+		if !spend(p.cfg.ESenseJ) {
+			break
+		}
+		ev := src.Next()
+		t.Events++
+		t.SenseJ += p.cfg.ESenseJ
+
+		send := true
+		switch {
+		case p.cfg.Oracle:
+			send = ev.Label == p.cfg.Interesting
+		case p.cfg.Runtime != nil:
+			before := p.dev.Stats().EnergyNJ
+			logits, err := p.cfg.Runtime.Infer(p.img, p.model.QuantizeInput(ev.X))
+			if err != nil {
+				return t, fmt.Errorf("app: inference: %w", err)
+			}
+			t.InferJ += (p.dev.Stats().EnergyNJ - before) * 1e-9
+			send = core.Argmax(logits) == p.cfg.Interesting
+		}
+		if !send {
+			if ev.Label == p.cfg.Interesting {
+				t.MissedPositives++
+			}
+			continue
+		}
+		if !spend(p.cfg.ECommJ) {
+			break
+		}
+		t.CommJ += p.cfg.ECommJ
+		t.Sent++
+		if ev.Label == p.cfg.Interesting {
+			t.InterestingSent++
+		}
+	}
+	t.Reboots = p.dev.Stats().Reboots - rebootsBefore
+	return t, nil
+}
+
+// Predict evaluates the closed-form Eq. 3 for this configuration given the
+// network's measured rates and per-inference energy — what GENESIS
+// estimates before deployment. Tests compare it against Run.
+func Predict(cfg Config, p, tp, tn, eInferJ float64) float64 {
+	m := imodel.Params{P: p, TP: tp, TN: tn,
+		ESense: cfg.ESenseJ, EComm: cfg.ECommJ, EInfer: eInferJ}
+	if cfg.Oracle {
+		return imodel.Ideal(m)
+	}
+	if cfg.Runtime == nil {
+		return imodel.Baseline(m)
+	}
+	return imodel.Inference(m)
+}

@@ -1,0 +1,178 @@
+package app
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/mcu"
+	"repro/internal/sonic"
+)
+
+// synthSource draws events with the interesting class at a fixed base rate.
+type synthSource struct {
+	rng         *rand.Rand
+	interesting []dataset.Example
+	boring      []dataset.Example
+	p           float64
+}
+
+func newSource(t testing.TB, seed uint64, interesting int, p float64) *synthSource {
+	t.Helper()
+	ds := dataset.HAR(seed, 1, 600)
+	s := &synthSource{rng: rand.New(rand.NewPCG(seed, 5)), p: p}
+	for _, ex := range ds.Test {
+		if ex.Label == interesting {
+			s.interesting = append(s.interesting, ex)
+		} else {
+			s.boring = append(s.boring, ex)
+		}
+	}
+	return s
+}
+
+func (s *synthSource) Next() Event {
+	if s.rng.Float64() < s.p {
+		ex := s.interesting[s.rng.IntN(len(s.interesting))]
+		return Event{X: ex.X, Label: ex.Label}
+	}
+	ex := s.boring[s.rng.IntN(len(s.boring))]
+	return Event{X: ex.X, Label: ex.Label}
+}
+
+// deployModel trains and quantizes a HAR model and measures its rates.
+func deployModel(t testing.TB) (*dnn.QuantModel, float64, float64, float64) {
+	t.Helper()
+	ds := dataset.HAR(3, 600, 300)
+	n := dnn.HARNet(3)
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 3
+	dnn.Train(n, ds, cfg)
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates of the *quantized* model on held-out data, class 0 interesting.
+	var posHit, posTot, negHit, negTot int
+	for _, ex := range ds.Test {
+		pred := qm.Infer(ex.X)
+		if ex.Label == 0 {
+			posTot++
+			if pred == 0 {
+				posHit++
+			}
+		} else {
+			negTot++
+			if pred != 0 {
+				negHit++
+			}
+		}
+	}
+	tp := float64(posHit) / float64(posTot)
+	tn := float64(negHit) / float64(negTot)
+	// Per-inference energy under SONIC.
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (sonic.SONIC{}).Infer(img, qm.QuantizeInput(ds.Test[0].X)); err != nil {
+		t.Fatal(err)
+	}
+	return qm, tp, tn, dev.Stats().EnergyNJ * 1e-9
+}
+
+func TestPipelineOrderingMatchesModel(t *testing.T) {
+	qm, tp, tn, eInfer := deployModel(t)
+	const (
+		p       = 0.10
+		eSense  = 0.002
+		eComm   = 0.10
+		budgetJ = 40.0
+	)
+	run := func(cfg Config) Tally {
+		dev := mcu.New(energy.NewIntermittent(energy.Cap1mF,
+			energy.ConstantHarvester{Watts: energy.DefaultRFWatts}))
+		pl, err := New(dev, qm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tally, err := pl.Run(newSource(t, 8, 0, p), budgetJ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tally
+	}
+	base := Config{Interesting: 0, ESenseJ: eSense, ECommJ: eComm}
+	filt := base
+	filt.Runtime = sonic.SONIC{}
+	orc := base
+	orc.Oracle = true
+
+	tb, tf, to := run(base), run(filt), run(orc)
+
+	// Ordering: baseline < filtered < oracle, as Eqs. 1-3 require.
+	if !(tb.IMpJ() < tf.IMpJ() && tf.IMpJ() <= to.IMpJ()) {
+		t.Fatalf("IMpJ ordering wrong: base %v filtered %v oracle %v",
+			tb.IMpJ(), tf.IMpJ(), to.IMpJ())
+	}
+	if tf.Reboots == 0 {
+		t.Error("filtered deployment on intermittent power should reboot")
+	}
+	if tb.Sent != tb.Events && tb.Sent < tb.Events-1 {
+		t.Errorf("always-send should transmit every sensed event: %d/%d", tb.Sent, tb.Events)
+	}
+
+	// The closed-form Eq. 3 must predict the simulated IMpJ closely — the
+	// analytical model of §3 validated against the deployment it models.
+	pred := Predict(filt, p, tp, tn, eInfer)
+	if rel := math.Abs(pred-tf.IMpJ()) / pred; rel > 0.25 {
+		t.Errorf("Eq.3 prediction %v vs simulated %v (rel err %.0f%%)", pred, tf.IMpJ(), rel*100)
+	}
+	t.Logf("IMpJ: always-send %.3f, filtered %.3f (Eq.3 predicts %.3f), oracle %.3f",
+		tb.IMpJ(), tf.IMpJ(), pred, to.IMpJ())
+}
+
+func TestPipelineBudgetRespected(t *testing.T) {
+	qm, _, _, _ := deployModel(t)
+	dev := mcu.New(energy.Continuous{})
+	pl, err := New(dev, qm, Config{Runtime: sonic.SONIC{}, Interesting: 0,
+		ESenseJ: 0.001, ECommJ: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally, err := pl.Run(newSource(t, 9, 0, 0.2), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tally.SenseJ + tally.CommJ + tally.InferJ; got > 2.0 {
+		t.Errorf("budget exceeded: %v > 2.0", got)
+	}
+	if tally.Events == 0 {
+		t.Error("no events processed")
+	}
+}
+
+func TestMissedPositivesCounted(t *testing.T) {
+	qm, tp, _, _ := deployModel(t)
+	if tp >= 1 {
+		t.Skip("model is perfect on the positive class; no misses to count")
+	}
+	dev := mcu.New(energy.Continuous{})
+	pl, err := New(dev, qm, Config{Runtime: sonic.SONIC{}, Interesting: 0,
+		ESenseJ: 0.001, ECommJ: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally, err := pl.Run(newSource(t, 10, 0, 0.5), 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.MissedPositives == 0 {
+		t.Log("no false negatives in this stream (acceptable)")
+	}
+}

@@ -1,0 +1,234 @@
+// Package baseline implements the two comparison points of the paper's
+// evaluation (§8):
+//
+//   - Base: a standard DNN inference implementation with no intermittence
+//     support. It keeps loop state in volatile registers and accumulates
+//     dot products in registers, so it is fast — but after a power failure
+//     it can only restart from the beginning, and on power systems whose
+//     buffer is smaller than a whole inference it never completes.
+//
+//   - Tile-k: inference ported to the Alpaca-style task runtime
+//     (package task), with each layer's inner loop split into tasks of k
+//     iterations, as in the paper's Fig. 6. Task-shared data (the partial
+//     accumulators and loop indices) pay redo-logging on every write and
+//     commit at every transition, reproducing the overhead structure of
+//     prior task-based systems.
+//
+// Both produce bit-identical logits to dnn.QuantModel.Forward; the
+// difference is cost and whether they tolerate intermittent power.
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+)
+
+// Base is the unprotected straight-line implementation.
+type Base struct{}
+
+// Name identifies the runtime.
+func (Base) Name() string { return "base" }
+
+// Infer runs one inference. Under intermittent power the whole inference
+// restarts from scratch on every failure; if it cannot finish within one
+// charge cycle it returns mcu.ErrDoesNotComplete.
+func (Base) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
+	if err := img.LoadInput(input); err != nil {
+		return nil, err
+	}
+	dev := img.Dev
+	var outB bool
+	err := dev.Run(func() {
+		parity := false // input in ActA
+		for li := range img.Layers {
+			parity = baseLayer(dev, img, li, parity)
+		}
+		outB = parity
+	})
+	if err != nil {
+		return nil, err
+	}
+	return img.ReadOutput(outB), nil
+}
+
+// actBufs returns (src, dst) activation buffers for the given parity.
+func actBufs(img *core.Image, parity bool) (*mem.Region, *mem.Region) {
+	if parity {
+		return img.ActB, img.ActA
+	}
+	return img.ActA, img.ActB
+}
+
+// baseLayer executes one layer with register-state loops, returning the new
+// buffer parity.
+func baseLayer(dev *mcu.Device, img *core.Image, li int, parity bool) bool {
+	l := &img.Layers[li]
+	q := l.Q
+	src, dst := actBufs(img, parity)
+	name := core.LayerName(img.Model, li)
+	dev.SetSection(name, mcu.PhaseControl)
+
+	switch q.Kind {
+	case dnn.QConv:
+		baseConv(dev, img, l, name, src, dst)
+	case dnn.QDense:
+		baseDense(dev, l, name, src, dst)
+	case dnn.QSparseDense:
+		baseSparseDense(dev, l, name, src, dst)
+	case dnn.QReLU:
+		dev.SetSection(name, mcu.PhaseKernel)
+		n := q.InShape.Len()
+		for i := 0; i < n; i++ {
+			dev.Op(mcu.OpBranch)
+			v := fixed.ReLU(fixed.Q15(dev.Load(src, i)))
+			dev.Store(dst, i, int64(v))
+		}
+	case dnn.QPool:
+		basePool(dev, q, name, src, dst)
+	case dnn.QFlatten:
+		return parity // identity: no copy, no parity flip
+	}
+	return !parity
+}
+
+// baseConv computes a (possibly pruned) convolution one output at a time,
+// accumulating in a register. The weight traversal order matches the host
+// reference exactly.
+func baseConv(dev *mcu.Device, img *core.Image, l *core.LayerImage, name string,
+	src, dst *mem.Region) {
+	q := l.Q
+	h, w := q.InShape[1], q.InShape[2]
+	oh, ow := q.OutShape[1], q.OutShape[2]
+	positions := oh * ow
+	dev.SetSection(name, mcu.PhaseKernel)
+
+	// Zero the wide accumulators, then sweep filter elements, then
+	// finalize. Even Base uses the filter-element-major order (it is also
+	// the cache-friendly order on a machine with no cache, and keeps the
+	// arithmetic identical across implementations); its advantage over
+	// SONIC is purely that loop indices and partials needing no
+	// protection stay in registers where possible. Partials for all
+	// positions do not fit in registers, so they live in AccA like
+	// everyone else's — but without double buffering or index writes.
+	acc := img.AccA
+	for f := 0; f < q.F; f++ {
+		base := f * positions
+		for i := 0; i < positions; i++ {
+			dev.Op(mcu.OpBranch)
+			dev.Store(acc, base+i, 0)
+		}
+	}
+	apply := func(widx int) {
+		wv := fixed.Q15(dev.Load(l.W, widx))
+		kx := widx % q.KW
+		ky := (widx / q.KW) % q.KH
+		ci := (widx / (q.KW * q.KH)) % q.C
+		f := widx / (q.KW * q.KH * q.C)
+		base := f * positions
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dev.Op(mcu.OpBranch)
+				x := fixed.Q15(dev.Load(src, (ci*h+oy+ky)*w+ox+kx))
+				dev.Op(mcu.OpFixedMul)
+				a := fixed.Acc(dev.Load(acc, base+oy*ow+ox))
+				dev.Op(mcu.OpFixedAdd)
+				dev.Store(acc, base+oy*ow+ox, int64(a.MAC(wv, x)))
+			}
+		}
+	}
+	if l.NZ != nil {
+		for p := 0; p < l.NZ.Len(); p++ {
+			dev.Op(mcu.OpBranch)
+			apply(int(dev.Load(l.NZ, p)))
+		}
+	} else {
+		for widx := 0; widx < l.W.Len(); widx++ {
+			dev.Op(mcu.OpBranch)
+			apply(widx)
+		}
+	}
+	// Finalize: bias and rescale into Q15 activations.
+	for f := 0; f < q.F; f++ {
+		b := fixed.Q15(dev.Load(l.B, f))
+		base := f * positions
+		for i := 0; i < positions; i++ {
+			dev.Op(mcu.OpBranch)
+			a := fixed.Acc(dev.Load(acc, base+i))
+			dev.Op(mcu.OpFixedAdd)
+			out := a.AddQ(b).SatShiftSigned(q.Shift)
+			dev.Store(dst, base+i, int64(out))
+		}
+	}
+}
+
+// baseDense computes a fully-connected layer one output at a time with a
+// register accumulator.
+func baseDense(dev *mcu.Device, l *core.LayerImage, name string, src, dst *mem.Region) {
+	q := l.Q
+	dev.SetSection(name, mcu.PhaseKernel)
+	for o := 0; o < q.Out; o++ {
+		var acc fixed.Acc
+		row := o * q.In
+		for i := 0; i < q.In; i++ {
+			dev.Op(mcu.OpBranch)
+			wv := fixed.Q15(dev.Load(l.W, row+i))
+			x := fixed.Q15(dev.Load(src, i))
+			dev.Op(mcu.OpFixedMul)
+			dev.Op(mcu.OpFixedAdd)
+			acc = acc.MAC(wv, x)
+		}
+		b := fixed.Q15(dev.Load(l.B, o))
+		dev.Op(mcu.OpFixedAdd)
+		dev.Store(dst, o, int64(acc.AddQ(b).SatShiftSigned(q.Shift)))
+	}
+}
+
+// baseSparseDense walks the CSR rows with a register accumulator.
+func baseSparseDense(dev *mcu.Device, l *core.LayerImage, name string, src, dst *mem.Region) {
+	q := l.Q
+	dev.SetSection(name, mcu.PhaseKernel)
+	for o := 0; o < q.Out; o++ {
+		var acc fixed.Acc
+		lo := int(dev.Load(l.RowPtr, o))
+		hi := int(dev.Load(l.RowPtr, o+1))
+		for p := lo; p < hi; p++ {
+			dev.Op(mcu.OpBranch)
+			wv := fixed.Q15(dev.Load(l.W, p))
+			c := int(dev.Load(l.Cols, p))
+			x := fixed.Q15(dev.Load(src, c))
+			dev.Op(mcu.OpFixedMul)
+			dev.Op(mcu.OpFixedAdd)
+			acc = acc.MAC(wv, x)
+		}
+		b := fixed.Q15(dev.Load(l.B, o))
+		dev.Op(mcu.OpFixedAdd)
+		dev.Store(dst, o, int64(acc.AddQ(b).SatShiftSigned(q.Shift)))
+	}
+}
+
+// basePool computes max pooling.
+func basePool(dev *mcu.Device, q *dnn.QuantLayer, name string, src, dst *mem.Region) {
+	dev.SetSection(name, mcu.PhaseKernel)
+	c, h, w := q.InShape[0], q.InShape[1], q.InShape[2]
+	oh, ow := h/q.Window, w/q.Window
+	n := 0
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := fixed.MinusOne
+				for ky := 0; ky < q.Window; ky++ {
+					for kx := 0; kx < q.Window; kx++ {
+						dev.Op(mcu.OpBranch)
+						v := fixed.Q15(dev.Load(src, (ci*h+oy*q.Window+ky)*w+ox*q.Window+kx))
+						best = fixed.Max(best, v)
+					}
+				}
+				dev.Store(dst, n, int64(best))
+				n++
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+)
+
+// buildModel trains a small HAR network (with a pruned conv and a sparse FC
+// so all layer kinds are exercised) and quantizes it.
+func buildModel(t testing.TB) (*dnn.QuantModel, []dataset.Example) {
+	t.Helper()
+	ds := dataset.HAR(1, 240, 8)
+	n := dnn.HARNet(1)
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	dnn.Train(n, ds, cfg)
+	n.Layers[0].(*dnn.Conv).Prune(0.03)
+	n.Layers[3] = dnn.NewSparseDense(n.Layers[3].(*dnn.Dense), 0.02)
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, ds.Test
+}
+
+func TestBaseMatchesHostReference(t *testing.T) {
+	qm, ex := buildModel(t)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ex {
+		qin := qm.QuantizeInput(e.X)
+		want := qm.Forward(qin)
+		got, err := Base{}.Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, want)
+	}
+}
+
+func TestTileMatchesHostReferenceContinuous(t *testing.T) {
+	qm, ex := buildModel(t)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{8, 32, 128} {
+		qin := qm.QuantizeInput(ex[0].X)
+		want := qm.Forward(qin)
+		got, err := Tile{TileSize: k}.Infer(img, qin)
+		if err != nil {
+			t.Fatalf("tile-%d: %v", k, err)
+		}
+		assertEqualQ(t, got, want)
+	}
+}
+
+func TestTileCorrectUnderFailureInjection(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	want := qm.Forward(qin)
+	for _, period := range []int{4001, 9001, 20011} {
+		dev := mcu.New(energy.NewFailAfterOps(period, period))
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Tile{TileSize: 8}.Infer(img, qin)
+		if errors.Is(err, mcu.ErrDoesNotComplete) {
+			t.Fatalf("period %d: tile-8 should complete (largest task ~3.6k ops)", period)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, want)
+		if period < 25000 && dev.Stats().Reboots == 0 {
+			t.Errorf("period %d: expected reboots", period)
+		}
+	}
+}
+
+// Property: tile inference is exactly equal to the host reference for any
+// failure period that allows completion.
+func TestTileEquivalenceProperty(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[1].X)
+	want := qm.Forward(qin)
+	f := func(seed uint16) bool {
+		period := 5000 + int(seed)%20000
+		dev := mcu.New(energy.NewFailAfterOps(period, period))
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			return false
+		}
+		got, err := Tile{TileSize: 16}.Infer(img, qin)
+		if errors.Is(err, mcu.ErrDoesNotComplete) {
+			return true // small budgets may legitimately not complete
+		}
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseDoesNotCompleteOnSmallBuffer(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	dev := mcu.New(energy.NewIntermittent(energy.Cap100uF,
+		energy.ConstantHarvester{Watts: energy.DefaultRFWatts}))
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Base{}.Infer(img, qin)
+	if !errors.Is(err, mcu.ErrDoesNotComplete) {
+		t.Errorf("base on 100uF should not complete, got %v", err)
+	}
+}
+
+func TestBaseFasterThanTiles(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	run := func(rt core.Runtime) float64 {
+		dev := mcu.New(energy.Continuous{})
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Infer(img, qin); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats().EnergyNJ
+	}
+	base := run(Base{})
+	t8 := run(Tile{TileSize: 8})
+	t128 := run(Tile{TileSize: 128})
+	if t8 <= base || t128 <= base {
+		t.Errorf("tiling should cost more than base: base=%v t8=%v t128=%v", base, t8, t128)
+	}
+	if t128 >= t8 {
+		t.Errorf("larger tiles should amortize overheads: t8=%v t128=%v", t8, t128)
+	}
+	t.Logf("energy: base=%.1fuJ tile-8=%.1fuJ tile-128=%.1fuJ (t8/base=%.1fx)",
+		base/1e3, t8/1e3, t128/1e3, t8/base)
+}
+
+func assertEqualQ(t *testing.T, got, want []fixed.Q15) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}

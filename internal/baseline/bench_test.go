@@ -1,0 +1,29 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mcu"
+)
+
+func benchRuntime(b *testing.B, rt core.Runtime) {
+	qm, ex := buildModel(b)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qin := qm.QuantizeInput(ex[0].X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Infer(img, qin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseInferHAR(b *testing.B)    { benchRuntime(b, Base{}) }
+func BenchmarkTile8InferHAR(b *testing.B)   { benchRuntime(b, Tile{TileSize: 8}) }
+func BenchmarkTile128InferHAR(b *testing.B) { benchRuntime(b, Tile{TileSize: 128}) }

@@ -1,0 +1,350 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+// Tile is DNN inference ported onto the Alpaca-style task runtime with a
+// fixed tiling: each task executes TileSize loop iterations, then
+// transitions (committing its redo log). The paper evaluates Tile-8,
+// Tile-32, and Tile-128.
+//
+// Iteration granularity mirrors SONIC's loop structure (Fig. 6/7): a
+// convolution iteration applies one filter element across all output
+// positions; a dense fully-connected iteration applies one input element
+// across all outputs; a sparse fully-connected iteration applies one
+// nonzero weight; activation and pooling iterations produce one output
+// element. All partial accumulators are task-shared, so every update pays
+// redo-logging — the cost SONIC eliminates.
+type Tile struct {
+	TileSize int
+	// LogEntries sizes the runtime redo log (default DefaultLogEntries).
+	LogEntries int
+}
+
+// DefaultLogEntries is sized for the largest per-task write set: a tile of
+// per-MAC iterations writes at most TileSize distinct partials plus the
+// loop cursor.
+const DefaultLogEntries = 512
+
+// Name identifies the runtime, e.g. "tile-32".
+func (t Tile) Name() string { return fmt.Sprintf("tile-%d", t.TileSize) }
+
+// ctl-slot index within the image control block used for the pass cursor.
+const tileCursorSlot = 0
+
+// Infer builds the task graph over the deployed image and drives it to
+// completion.
+func (t Tile) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
+	if t.TileSize <= 0 {
+		return nil, fmt.Errorf("baseline: invalid tile size %d", t.TileSize)
+	}
+	if err := img.LoadInput(input); err != nil {
+		return nil, err
+	}
+	logEntries := t.LogEntries
+	if logEntries == 0 {
+		logEntries = DefaultLogEntries
+	}
+	rt, err := task.New(img.Dev, logEntries)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: allocating task runtime: %w", err)
+	}
+	defer rt.Release()
+
+	for _, r := range []*mem.Region{img.ActA, img.ActB, img.AccA, img.AccB, img.Ctl} {
+		if r != nil {
+			rt.Share(r)
+		}
+	}
+
+	b := tileBuilder{img: img, rt: rt, k: t.TileSize}
+	outB, err := b.build()
+	if err != nil {
+		return nil, err
+	}
+	rt.Start(0)
+	if err := rt.Run(); err != nil {
+		return nil, err
+	}
+	return img.ReadOutput(outB), nil
+}
+
+// passFn executes one loop iteration of a pass.
+type passFn func(c *task.Ctx, iter int)
+
+// addPassFn registers a pass: name, layer label, iteration count, body.
+type addPassFn func(name, layer string, n int, f passFn)
+
+// tileBuilder assembles the per-layer pass tasks. Because the layer graph
+// is static, each task closes over its source/destination buffers; only
+// loop cursors live in task-shared memory.
+type tileBuilder struct {
+	img *core.Image
+	rt  *task.Runtime
+	k   int
+}
+
+// build creates all tasks in execution order; task 0 is the entry. It
+// returns the parity of the buffer holding the final output.
+func (b *tileBuilder) build() (bool, error) {
+	parity := false
+	var passes []struct {
+		name  string
+		layer string
+		n     int
+		f     passFn
+	}
+	addPass := func(name, layer string, n int, f passFn) {
+		passes = append(passes, struct {
+			name  string
+			layer string
+			n     int
+			f     passFn
+		}{name, layer, n, f})
+	}
+
+	for li := range b.img.Layers {
+		l := &b.img.Layers[li]
+		q := l.Q
+		src, dst := actBufs(b.img, parity)
+		layer := core.LayerName(b.img.Model, li)
+		switch q.Kind {
+		case dnn.QConv:
+			b.convPasses(addPass, l, layer, src, dst)
+			parity = !parity
+		case dnn.QDense:
+			b.densePasses(addPass, l, layer, src, dst)
+			parity = !parity
+		case dnn.QSparseDense:
+			b.sparsePasses(addPass, l, layer, src, dst)
+			parity = !parity
+		case dnn.QReLU:
+			n := q.InShape.Len()
+			addPass("relu", layer, n, func(c *task.Ctx, i int) {
+				dev := c.Dev()
+				dev.Op(mcu.OpBranch)
+				v := fixed.ReLU(fixed.Q15(c.Read(src, i)))
+				c.Write(dst, i, int64(v))
+			})
+			parity = !parity
+		case dnn.QPool:
+			b.poolPass(addPass, q, layer, src, dst)
+			parity = !parity
+		case dnn.QFlatten:
+			// identity
+		}
+	}
+
+	// Materialize each pass as one self-transitioning task over a shared
+	// cursor in the control block.
+	ctl := b.img.Ctl
+	for pi := range passes {
+		p := passes[pi]
+		next := task.ID(pi + 1)
+		if pi == len(passes)-1 {
+			next = task.Done
+		}
+		self := task.ID(pi)
+		b.rt.Add(p.name, func(c *task.Ctx) task.ID {
+			dev := c.Dev()
+			dev.SetSection(p.layer, mcu.PhaseControl)
+			base := int(c.Read(ctl, tileCursorSlot))
+			dev.SetSection(p.layer, mcu.PhaseKernel)
+			end := base + b.k
+			if end > p.n {
+				end = p.n
+			}
+			for i := base; i < end; i++ {
+				p.f(c, i)
+			}
+			dev.SetSection(p.layer, mcu.PhaseControl)
+			if end >= p.n {
+				c.Write(ctl, tileCursorSlot, 0) // reset for next pass
+				return next
+			}
+			c.Write(ctl, tileCursorSlot, int64(end))
+			return self
+		})
+	}
+	return parity, nil
+}
+
+// convPasses emits the zero-init (sparse only), accumulate, and finalize
+// passes for a convolution. An accumulate iteration is one multiply-
+// accumulate — "a[i] += b[i] × c" exactly as in the paper's Fig. 6 — on
+// the task-shared partial buffer, so every iteration pays privatization.
+func (b *tileBuilder) convPasses(addPass addPassFn,
+	l *core.LayerImage, layer string, src, dst *mem.Region) {
+	q := l.Q
+	h, w := q.InShape[1], q.InShape[2]
+	oh, ow := q.OutShape[1], q.OutShape[2]
+	positions := oh * ow
+	acc := b.img.AccA
+	elemsPerFilter := q.C * q.KH * q.KW
+	elems := l.W.Len()
+	if l.NZ != nil {
+		elems = l.NZ.Len()
+	}
+
+	// apply performs one MAC: filter element `e` at output position `i`.
+	apply := func(c *task.Ctx, e, i int) {
+		dev := c.Dev()
+		widx := e
+		first := false
+		if l.NZ != nil {
+			widx = int(dev.Load(l.NZ, e))
+		} else {
+			first = widx%elemsPerFilter == 0
+		}
+		wv := fixed.Q15(dev.Load(l.W, widx))
+		kx := widx % q.KW
+		ky := (widx / q.KW) % q.KH
+		ci := (widx / (q.KW * q.KH)) % q.C
+		f := widx / elemsPerFilter
+		oy, ox := i/ow, i%ow
+		x := fixed.Q15(dev.Load(src, (ci*h+oy+ky)*w+ox+kx))
+		dev.Op(mcu.OpFixedMul)
+		pos := f*positions + i
+		var a fixed.Acc
+		if !first {
+			a = fixed.Acc(c.Read(acc, pos))
+			dev.Op(mcu.OpFixedAdd)
+		}
+		c.Write(acc, pos, int64(a.MAC(wv, x)))
+	}
+
+	if l.NZ != nil {
+		total := q.F * positions
+		addPass("conv-zero", layer, total, func(c *task.Ctx, i int) {
+			c.Dev().Op(mcu.OpBranch)
+			c.Write(acc, i, 0)
+		})
+	}
+	addPass("conv-acc", layer, elems*positions, func(c *task.Ctx, it int) {
+		c.Dev().Op(mcu.OpBranch)
+		apply(c, it/positions, it%positions)
+	})
+	addPass("conv-fin", layer, q.F*positions, func(c *task.Ctx, i int) {
+		dev := c.Dev()
+		dev.Op(mcu.OpBranch)
+		f := i / positions
+		bq := fixed.Q15(dev.Load(l.B, f))
+		a := fixed.Acc(c.Read(acc, i))
+		dev.Op(mcu.OpFixedAdd)
+		c.Write(dst, i, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}
+
+// densePasses emits the accumulate and finalize passes for a dense
+// fully-connected layer; one iteration is one MAC on the task-shared
+// partial of output o by input element i.
+func (b *tileBuilder) densePasses(addPass addPassFn,
+	l *core.LayerImage, layer string, src, dst *mem.Region) {
+	q := l.Q
+	acc := b.img.AccA
+	addPass("fc-acc", layer, q.In*q.Out, func(c *task.Ctx, it int) {
+		dev := c.Dev()
+		dev.Op(mcu.OpBranch)
+		i, o := it/q.Out, it%q.Out
+		x := fixed.Q15(dev.Load(src, i))
+		wv := fixed.Q15(dev.Load(l.W, o*q.In+i))
+		dev.Op(mcu.OpFixedMul)
+		var a fixed.Acc
+		if i > 0 {
+			a = fixed.Acc(c.Read(acc, o))
+			dev.Op(mcu.OpFixedAdd)
+		}
+		c.Write(acc, o, int64(a.MAC(wv, x)))
+	})
+	addPass("fc-fin", layer, q.Out, func(c *task.Ctx, o int) {
+		dev := c.Dev()
+		dev.Op(mcu.OpBranch)
+		bq := fixed.Q15(dev.Load(l.B, o))
+		a := fixed.Acc(c.Read(acc, o))
+		dev.Op(mcu.OpFixedAdd)
+		c.Write(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}
+
+// sparsePasses emits zero-init, per-nonzero accumulate, and finalize passes
+// for a sparse fully-connected layer. Each nonzero update reads and writes
+// its row's partial — the WAR pattern that forces redo-logging here and
+// that SONIC's sparse undo-logging replaces.
+func (b *tileBuilder) sparsePasses(addPass addPassFn,
+	l *core.LayerImage, layer string, src, dst *mem.Region) {
+	q := l.Q
+	acc := b.img.AccA
+	addPass("spfc-zero", layer, q.Out, func(c *task.Ctx, o int) {
+		c.Dev().Op(mcu.OpBranch)
+		c.Write(acc, o, 0)
+	})
+	// Row lookup per nonzero: the device walks RowPtr lazily by keeping a
+	// "current row" volatile variable... but volatile state cannot span
+	// tasks, so each iteration binary-searches RowPtr. This is what a real
+	// port pays for splitting a CSR walk across tasks.
+	addPass("spfc-acc", layer, len(q.W), func(c *task.Ctx, p int) {
+		dev := c.Dev()
+		dev.Op(mcu.OpBranch)
+		row := sparseRowOf(dev, l, p, q.Out)
+		wv := fixed.Q15(dev.Load(l.W, p))
+		col := int(dev.Load(l.Cols, p))
+		x := fixed.Q15(dev.Load(src, col))
+		dev.Op(mcu.OpFixedMul)
+		a := fixed.Acc(c.Read(acc, row))
+		dev.Op(mcu.OpFixedAdd)
+		c.Write(acc, row, int64(a.MAC(wv, x)))
+	})
+	addPass("spfc-fin", layer, q.Out, func(c *task.Ctx, o int) {
+		dev := c.Dev()
+		dev.Op(mcu.OpBranch)
+		bq := fixed.Q15(dev.Load(l.B, o))
+		a := fixed.Acc(c.Read(acc, o))
+		dev.Op(mcu.OpFixedAdd)
+		c.Write(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}
+
+// sparseRowOf binary-searches RowPtr for the row containing nonzero p.
+func sparseRowOf(dev *mcu.Device, l *core.LayerImage, p, rows int) int {
+	lo, hi := 0, rows // invariant: RowPtr[lo] <= p < RowPtr[hi]
+	for lo+1 < hi {
+		dev.Op(mcu.OpBranch)
+		mid := (lo + hi) / 2
+		if dev.Load(l.RowPtr, mid) <= int64(p) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// poolPass emits the pooling pass: one output element per iteration.
+func (b *tileBuilder) poolPass(addPass addPassFn,
+	q *dnn.QuantLayer, layer string, src, dst *mem.Region) {
+	c0, h, w := q.InShape[0], q.InShape[1], q.InShape[2]
+	oh, ow := h/q.Window, w/q.Window
+	addPass("pool", layer, c0*oh*ow, func(c *task.Ctx, i int) {
+		dev := c.Dev()
+		ox := i % ow
+		oy := (i / ow) % oh
+		ci := i / (ow * oh)
+		best := fixed.MinusOne
+		for ky := 0; ky < q.Window; ky++ {
+			for kx := 0; kx < q.Window; kx++ {
+				dev.Op(mcu.OpBranch)
+				v := fixed.Q15(dev.Load(src, (ci*h+oy*q.Window+ky)*w+ox*q.Window+kx))
+				best = fixed.Max(best, v)
+			}
+		}
+		c.Write(dst, i, int64(best))
+	})
+}

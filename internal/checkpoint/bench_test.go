@@ -1,0 +1,25 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mcu"
+)
+
+func BenchmarkCheckpoint64InferHAR(b *testing.B) {
+	qm, ex := buildModel(b)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qin := qm.QuantizeInput(ex[0].X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Checkpoint{Interval: 64}).Infer(img, qin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

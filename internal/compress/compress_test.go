@@ -1,0 +1,241 @@
+package compress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+// randomInput generates a deterministic random input for a network.
+func randomInput(n *dnn.Network, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	x := make([]float64, n.In.Len())
+	for i := range x {
+		x[i] = rng.NormFloat64() * 0.3
+	}
+	return x
+}
+
+func maxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMagnitudeQuantile(t *testing.T) {
+	vals := []float64{-4, 3, -2, 1, 0.5, -0.1, 0.05, 2.5}
+	thr := magnitudeQuantile(vals, 0.5)
+	kept := 0
+	for _, v := range vals {
+		if math.Abs(v) > thr {
+			kept++
+		}
+	}
+	if kept < 3 || kept > 5 {
+		t.Errorf("quantile 0.5 kept %d of 8", kept)
+	}
+	if magnitudeQuantile(vals, 0) != 0 {
+		t.Error("dropFrac 0 should return 0")
+	}
+	if magnitudeQuantile([]float64{0, 0}, 0.5) != 0 {
+		t.Error("all-zero input should return 0")
+	}
+}
+
+func TestPruneConvDropsRequestedFraction(t *testing.T) {
+	n := dnn.HARNet(1)
+	c := n.Layers[0].(*dnn.Conv)
+	total := c.W.Len()
+	kept, err := PruneConv(n, 0, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(kept) / float64(total)
+	if frac < 0.1 || frac > 0.3 {
+		t.Errorf("kept fraction %v, want ~0.2", frac)
+	}
+	if _, err := PruneConv(n, 1, 0.5); err == nil {
+		t.Error("pruning a non-conv layer should error")
+	}
+}
+
+func TestSparsifyDense(t *testing.T) {
+	n := dnn.HARNet(1)
+	sd, err := SparsifyDense(n, 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sd.W.Density(); d < 0.05 || d > 0.2 {
+		t.Errorf("density %v, want ~0.1", d)
+	}
+	if _, err := n.Validate(); err != nil {
+		t.Fatalf("network invalid after sparsify: %v", err)
+	}
+	if _, err := SparsifyDense(n, 0, 0.5); err == nil {
+		t.Error("sparsifying a conv should error")
+	}
+}
+
+func TestSeparateDenseFullRankIsExact(t *testing.T) {
+	n := dnn.HARNet(2)
+	x := randomInput(n, 1)
+	want := n.Forward(x)
+	// Layer 5 is Dense(6, 64): full rank = 6.
+	if err := SeparateDense(n, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Forward(x)
+	if d := maxDiff(got, want); d > 1e-8 {
+		t.Errorf("full-rank separation changed outputs by %v", d)
+	}
+	// The separated pair replaces one layer with two.
+	if len(n.Layers) != 7 {
+		t.Errorf("layer count %d, want 7", len(n.Layers))
+	}
+}
+
+func TestSeparateDenseLowRankApproximates(t *testing.T) {
+	n := dnn.HARNet(2)
+	x := randomInput(n, 2)
+	want := n.Forward(x)
+	if err := SeparateDense(n, 3, 8); err != nil { // Dense(64, 384) at rank 8
+		t.Fatal(err)
+	}
+	if _, err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Forward(x)
+	// Low rank approximates: outputs correlated but not exact.
+	if d := maxDiff(got, want); d == 0 {
+		t.Error("rank-8 separation should not be exact")
+	}
+	// Parameters must shrink: 64*384 -> 8*384 + 64*8.
+	params := n.ParamCount()
+	if params >= 25102 { // original HAR count
+		t.Errorf("separation should reduce params, got %d", params)
+	}
+}
+
+func TestSeparateConvSpatialFullRankIsExact(t *testing.T) {
+	n := dnn.MNISTNet(3)
+	x := randomInput(n, 3)
+	want := n.Forward(x)
+	// Conv1 is (8,1,5,5): unfolding is 5x40, full rank 5.
+	if err := SeparateConvSpatial(n, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Forward(x)
+	if d := maxDiff(got, want); d > 1e-7 {
+		t.Errorf("full-rank spatial separation changed outputs by %v", d)
+	}
+}
+
+func TestSeparateConvSpatialReducesMACs(t *testing.T) {
+	n := dnn.MNISTNet(3)
+	macsBefore := n.LayerMACs()[0]
+	if err := SeparateConvSpatial(n, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	macsAfter := n.LayerMACs()[0] + n.LayerMACs()[1]
+	if macsAfter >= macsBefore {
+		t.Errorf("rank-2 spatial separation should cut MACs: %d -> %d", macsBefore, macsAfter)
+	}
+}
+
+func TestSeparateConvTucker2FullRankIsExact(t *testing.T) {
+	n := dnn.MNISTNet(4)
+	x := randomInput(n, 4)
+	want := n.Forward(x)
+	// Conv2 is (16,8,5,5): full Tucker-2 ranks are (16,8).
+	if err := SeparateConvTucker2(n, 3, 16, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Forward(x)
+	if d := maxDiff(got, want); d > 1e-6 {
+		t.Errorf("full-rank Tucker-2 changed outputs by %v", d)
+	}
+	if len(n.Layers) != 12 {
+		t.Errorf("layer count %d, want 12 (one conv became three)", len(n.Layers))
+	}
+}
+
+func TestSeparateConvTucker2LowRankCompresses(t *testing.T) {
+	n := dnn.MNISTNet(4)
+	before := n.ParamCount()
+	if err := SeparateConvTucker2(n, 3, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if after := n.ParamCount(); after >= before {
+		t.Errorf("Tucker-2 (4,3) should compress: %d -> %d", before, after)
+	}
+}
+
+// Property: the Frobenius error of the reconstructed weight matrix
+// decreases (weakly) as separation rank increases (Eckart–Young).
+func TestSeparationErrorMonotoneProperty(t *testing.T) {
+	base := dnn.HARNet(7)
+	orig := base.Layers[3].(*dnn.Dense).W
+	errAt := func(rank int) float64 {
+		n := base.Clone()
+		if err := SeparateDense(n, 3, rank); err != nil {
+			t.Fatal(err)
+		}
+		first := n.Layers[3].(*dnn.Dense)
+		second := n.Layers[4].(*dnn.Dense)
+		eff := tensor.MatMul(second.W, first.W)
+		diff := orig.Clone()
+		diff.AddScaled(-1, eff)
+		return diff.Norm2()
+	}
+	f := func(seed uint8) bool {
+		r1 := 1 + int(seed)%30
+		r2 := r1 + 1 + int(seed/8)%20
+		return errAt(r2) <= errAt(r1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Compressed networks must remain trainable (fine-tuning path).
+func TestCompressedNetworkFineTunes(t *testing.T) {
+	n := dnn.HARNet(8)
+	ds, _ := dnn.DatasetFor("har", 8, 240, 60)
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	dnn.Train(n, ds, cfg)
+	accBefore := dnn.Evaluate(n, ds.Test)
+
+	if _, err := PruneConv(n, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SparsifyDense(n, 3, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Epochs = 1
+	dnn.Train(n, ds, cfg)
+	accAfter := dnn.Evaluate(n, ds.Test)
+	if accAfter < accBefore-0.25 {
+		t.Errorf("fine-tuned compressed net lost too much accuracy: %v -> %v", accBefore, accAfter)
+	}
+}

@@ -1,0 +1,268 @@
+// Package core defines the deployable model image — a quantized network
+// placed into the device's FRAM — and the runtime interface that the
+// inference implementations (the naive baseline, the task-tiled Alpaca
+// baselines, SONIC, and TAILS) share.
+//
+// Deployment is the analog of flashing the device: weights, sparse index
+// structures, activation buffers, and partial-accumulation buffers are all
+// allocated in non-volatile memory at deploy time, before intermittent
+// execution begins. The FRAM capacity check at deploy time is the
+// feasibility constraint GENESIS optimizes under.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+)
+
+// LayerImage is one layer's in-FRAM representation.
+type LayerImage struct {
+	Q *dnn.QuantLayer
+
+	W      *mem.Region // dense weights or CSR values (Q15, 2B elems)
+	B      *mem.Region // biases (Q15, 2B elems)
+	NZ     *mem.Region // nonzero flat indices for pruned conv (2B elems)
+	Cols   *mem.Region // CSR column indices (2B elems)
+	RowPtr *mem.Region // CSR row pointers (2B elems)
+
+	// FinPar (pruned convs only) holds, per filter, the double-buffer
+	// parity of the filter's last nonzero element, or -1 for filters whose
+	// weights were pruned entirely (their outputs are bias-only). SONIC's
+	// finalize pass reads it to locate each filter's final partials. It is
+	// computed at deploy time, like a compiler-emitted table.
+	FinPar *mem.Region
+}
+
+// Image is a deployed model: weights in FRAM plus the shared working
+// buffers every runtime uses.
+type Image struct {
+	Model *dnn.QuantModel
+	Dev   *mcu.Device
+
+	Layers []LayerImage
+
+	// ActA/ActB are ping-pong Q15 activation buffers sized to the largest
+	// activation volume; layer L reads from one and its finalize pass
+	// writes into the other.
+	ActA, ActB *mem.Region
+
+	// AccA/AccB are double-buffered wide partial accumulators (modelled as
+	// 32-bit) used by loop-ordered buffering within conv and dense layers.
+	AccA, AccB *mem.Region
+
+	// Ctl is the runtime control block: NV loop indices, layer cursor,
+	// buffer parity. Runtimes carve it up as they like; it is cleared by
+	// LoadInput at the start of every inference.
+	Ctl *mem.Region
+
+	// Cal holds state that must persist across inferences — TAILS's
+	// one-time tile calibration (§7.1). LoadInput does not touch it.
+	Cal *mem.Region
+
+	MaxActWords int
+}
+
+// CtlWords is the size of the shared NV control block.
+const CtlWords = 32
+
+// Deploy places a quantized model into the device's FRAM, allocating weight
+// regions and working buffers. It fails if the model does not fit — the
+// feasibility condition of GENESIS (§5.2).
+func Deploy(dev *mcu.Device, qm *dnn.QuantModel) (*Image, error) {
+	img := &Image{Model: qm, Dev: dev}
+	maxAct := qm.In.Len()
+	maxOut := 0
+	for i := range qm.Layers {
+		ql := &qm.Layers[i]
+		if n := ql.OutShape.Len(); n > maxAct {
+			maxAct = n
+		}
+		switch ql.Kind {
+		case dnn.QConv, dnn.QDense, dnn.QSparseDense:
+			if n := ql.OutShape.Len(); n > maxOut {
+				maxOut = n
+			}
+		}
+	}
+	img.MaxActWords = maxAct
+
+	alloc := func(name string, n, elemBytes int) (*mem.Region, error) {
+		if n == 0 {
+			return nil, nil
+		}
+		return dev.FRAM.Alloc(name, n, elemBytes)
+	}
+
+	var err error
+	for i := range qm.Layers {
+		ql := &qm.Layers[i]
+		li := LayerImage{Q: ql}
+		pfx := fmt.Sprintf("L%d.%s", i, ql.Kind)
+		if li.W, err = alloc(pfx+".W", len(ql.W), 2); err != nil {
+			return nil, err
+		}
+		if li.B, err = alloc(pfx+".B", len(ql.B), 2); err != nil {
+			return nil, err
+		}
+		if li.NZ, err = alloc(pfx+".NZ", len(ql.NZ), 2); err != nil {
+			return nil, err
+		}
+		if li.Cols, err = alloc(pfx+".Cols", len(ql.Cols), 2); err != nil {
+			return nil, err
+		}
+		if li.RowPtr, err = alloc(pfx+".RowPtr", len(ql.RowPtr), 2); err != nil {
+			return nil, err
+		}
+		// Host-side initialization: flashing the image is deploy-time work
+		// and consumes no harvested energy.
+		for j, w := range ql.W {
+			li.W.Put(j, int64(w))
+		}
+		for j, b := range ql.B {
+			li.B.Put(j, int64(b))
+		}
+		for j, nz := range ql.NZ {
+			li.NZ.Put(j, int64(nz))
+		}
+		for j, c := range ql.Cols {
+			li.Cols.Put(j, int64(c))
+		}
+		for j, r := range ql.RowPtr {
+			li.RowPtr.Put(j, int64(r))
+		}
+		if ql.Kind == dnn.QConv && ql.NZ != nil {
+			if li.FinPar, err = alloc(pfx+".FinPar", ql.F, 2); err != nil {
+				return nil, err
+			}
+			epf := ql.C * ql.KH * ql.KW
+			for f := 0; f < ql.F; f++ {
+				li.FinPar.Put(f, -1)
+			}
+			for p, widx := range ql.NZ {
+				li.FinPar.Put(int(widx)/epf, int64(p&1))
+			}
+		}
+		img.Layers = append(img.Layers, li)
+	}
+
+	if img.ActA, err = dev.FRAM.Alloc("act.A", maxAct, 2); err != nil {
+		return nil, err
+	}
+	if img.ActB, err = dev.FRAM.Alloc("act.B", maxAct, 2); err != nil {
+		return nil, err
+	}
+	if maxOut > 0 {
+		if img.AccA, err = dev.FRAM.Alloc("acc.A", maxOut, 4); err != nil {
+			return nil, err
+		}
+		if img.AccB, err = dev.FRAM.Alloc("acc.B", maxOut, 4); err != nil {
+			return nil, err
+		}
+	}
+	if img.Ctl, err = dev.FRAM.Alloc("ctl", CtlWords, 2); err != nil {
+		return nil, err
+	}
+	if img.Cal, err = dev.FRAM.Alloc("cal", 4, 2); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Release frees every FRAM region the image holds.
+func (img *Image) Release() {
+	fram := img.Dev.FRAM
+	for _, li := range img.Layers {
+		for _, r := range []*mem.Region{li.W, li.B, li.NZ, li.Cols, li.RowPtr, li.FinPar} {
+			if r != nil {
+				fram.Release(r)
+			}
+		}
+	}
+	for _, r := range []*mem.Region{img.ActA, img.ActB, img.AccA, img.AccB, img.Ctl, img.Cal} {
+		if r != nil {
+			fram.Release(r)
+		}
+	}
+	img.Layers = nil
+}
+
+// LoadInput writes a quantized input sample into activation buffer A and
+// clears the control block. This models the sensor depositing a reading
+// before inference starts; it is not charged against harvested energy and
+// must be called once per inference, outside the intermittent retry loop.
+func (img *Image) LoadInput(x []fixed.Q15) error {
+	if len(x) != img.Model.In.Len() {
+		return fmt.Errorf("core: input length %d, model wants %d", len(x), img.Model.In.Len())
+	}
+	for i, v := range x {
+		img.ActA.Put(i, int64(v))
+	}
+	for i := 0; i < CtlWords; i++ {
+		img.Ctl.Put(i, 0)
+	}
+	return nil
+}
+
+// ReadOutput extracts the final logits from the buffer the last layer wrote
+// (host-side, after inference completes).
+func (img *Image) ReadOutput(fromB bool) []fixed.Q15 {
+	n := img.Model.Layers[len(img.Model.Layers)-1].OutShape.Len()
+	src := img.ActA
+	if fromB {
+		src = img.ActB
+	}
+	out := make([]fixed.Q15, n)
+	for i := range out {
+		out[i] = fixed.Q15(src.Get(i))
+	}
+	return out
+}
+
+// Runtime is an inference implementation: it drives the deployed image
+// through one inference on the device, tolerating (or not) intermittent
+// power. Implementations must leave the logits readable via ReadOutput and
+// report which buffer holds them.
+type Runtime interface {
+	// Name identifies the implementation ("base", "tile-32", "sonic", ...).
+	Name() string
+	// Infer runs one inference to completion under the device's power
+	// system. It returns the logits, or mcu.ErrDoesNotComplete if the
+	// implementation cannot finish on this power system.
+	Infer(img *Image, input []fixed.Q15) ([]fixed.Q15, error)
+}
+
+// LayerName returns the section label used to attribute device operations
+// to layers in the Fig. 9/10/12 breakdowns: convolutional layers are
+// numbered "conv1", "conv2", ...; fully-connected layers (dense or sparse)
+// are "fc"; everything else is "other".
+func LayerName(qm *dnn.QuantModel, li int) string {
+	conv := 0
+	for i := 0; i <= li && i < len(qm.Layers); i++ {
+		if qm.Layers[i].Kind == dnn.QConv {
+			conv++
+		}
+	}
+	switch qm.Layers[li].Kind {
+	case dnn.QConv:
+		return fmt.Sprintf("conv%d", conv)
+	case dnn.QDense, dnn.QSparseDense:
+		return "fc"
+	default:
+		return "other"
+	}
+}
+
+// Argmax returns the index of the largest logit.
+func Argmax(logits []fixed.Q15) int {
+	best, bi := fixed.MinusOne, 0
+	for i, v := range logits {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,326 @@
+// Package dataset generates the three synthetic workloads that stand in for
+// the paper's MNIST, human-activity-recognition (HAR), and Google keyword
+// spotting (OkG) datasets, which are not available offline.
+//
+// Each generator is deterministic given a seed and produces inputs with the
+// same structure as the original data: 28×28 grayscale glyph images for
+// image classification, 3-axis accelerometer windows for HAR, and
+// time×frequency spectrogram patches for keyword spotting. The tasks are
+// designed so that classification accuracy degrades smoothly as networks are
+// compressed, which is the property GENESIS's accuracy/energy tradeoff
+// exploration (Fig. 4) depends on.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Example is a single labelled sample, stored flat in row-major order.
+type Example struct {
+	X     []float64
+	Label int
+}
+
+// Dataset is a train/test split of labelled examples with a known input
+// shape (channels, height, width) and class count.
+type Dataset struct {
+	Name       string
+	InputShape [3]int // channels, height, width
+	NumClasses int
+	Train      []Example
+	Test       []Example
+}
+
+// InputLen returns the flattened input length.
+func (d *Dataset) InputLen() int {
+	return d.InputShape[0] * d.InputShape[1] * d.InputShape[2]
+}
+
+// String summarizes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s: %d train / %d test, input %v, %d classes",
+		d.Name, len(d.Train), len(d.Test), d.InputShape, d.NumClasses)
+}
+
+// digitStrokes defines each digit as polylines in the unit square,
+// (x, y) with y increasing downward. The glyphs are deliberately simple;
+// randomized affine jitter, stroke width, and noise make the task nontrivial.
+var digitStrokes = [10][][][2]float64{
+	0: {{{0.3, 0.2}, {0.7, 0.2}, {0.75, 0.5}, {0.7, 0.8}, {0.3, 0.8}, {0.25, 0.5}, {0.3, 0.2}}},
+	1: {{{0.35, 0.3}, {0.5, 0.2}, {0.5, 0.8}}, {{0.35, 0.8}, {0.65, 0.8}}},
+	2: {{{0.3, 0.3}, {0.5, 0.2}, {0.7, 0.3}, {0.7, 0.45}, {0.3, 0.8}, {0.7, 0.8}}},
+	3: {{{0.3, 0.25}, {0.6, 0.2}, {0.7, 0.35}, {0.5, 0.5}, {0.7, 0.65}, {0.6, 0.8}, {0.3, 0.75}}},
+	4: {{{0.6, 0.8}, {0.6, 0.2}, {0.25, 0.6}, {0.75, 0.6}}},
+	5: {{{0.7, 0.2}, {0.3, 0.2}, {0.3, 0.5}, {0.65, 0.5}, {0.7, 0.65}, {0.6, 0.8}, {0.3, 0.78}}},
+	6: {{{0.65, 0.2}, {0.35, 0.35}, {0.3, 0.65}, {0.5, 0.8}, {0.7, 0.65}, {0.5, 0.5}, {0.32, 0.58}}},
+	7: {{{0.28, 0.2}, {0.72, 0.2}, {0.45, 0.8}}},
+	8: {{{0.5, 0.5}, {0.32, 0.35}, {0.5, 0.2}, {0.68, 0.35}, {0.5, 0.5}, {0.3, 0.65}, {0.5, 0.8}, {0.7, 0.65}, {0.5, 0.5}}},
+	9: {{{0.68, 0.42}, {0.5, 0.5}, {0.32, 0.35}, {0.5, 0.2}, {0.68, 0.35}, {0.65, 0.8}}},
+}
+
+// Digits generates a synthetic handwritten-digit dataset: 1×28×28 images,
+// 10 classes. This stands in for MNIST in the image-recognition experiments.
+func Digits(seed uint64, nTrain, nTest int) *Dataset {
+	d := &Dataset{Name: "digits", InputShape: [3]int{1, 28, 28}, NumClasses: 10}
+	rng := rand.New(rand.NewPCG(seed, 0x5))
+	d.Train = makeDigits(rng, nTrain)
+	d.Test = makeDigits(rng, nTest)
+	return d
+}
+
+func makeDigits(rng *rand.Rand, n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		label := i % 10 // balanced classes
+		out[i] = Example{X: renderDigit(rng, label), Label: label}
+	}
+	// Shuffle so class order is not a signal.
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+const digitSize = 28
+
+func renderDigit(rng *rand.Rand, label int) []float64 {
+	img := make([]float64, digitSize*digitSize)
+	// Random affine jitter.
+	angle := (rng.Float64() - 0.5) * 0.45 // ±~13°
+	scale := 0.8 + rng.Float64()*0.35
+	dx := (rng.Float64() - 0.5) * 0.16
+	dy := (rng.Float64() - 0.5) * 0.16
+	width := 0.035 + rng.Float64()*0.03
+	sin, cos := math.Sin(angle), math.Cos(angle)
+	xform := func(p [2]float64) (float64, float64) {
+		// Center, rotate+scale, translate back.
+		x, y := p[0]-0.5, p[1]-0.5
+		x, y = (x*cos-y*sin)*scale, (x*sin+y*cos)*scale
+		return (x + 0.5 + dx) * digitSize, (y + 0.5 + dy) * digitSize
+	}
+	for _, stroke := range digitStrokes[label] {
+		for s := 0; s < len(stroke)-1; s++ {
+			x0, y0 := xform(stroke[s])
+			x1, y1 := xform(stroke[s+1])
+			drawSegment(img, x0, y0, x1, y1, width*digitSize)
+		}
+	}
+	// Additive noise and clamping.
+	for i := range img {
+		img[i] += rng.NormFloat64() * 0.08
+		if img[i] < 0 {
+			img[i] = 0
+		}
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img
+}
+
+// drawSegment renders a line segment into img with a soft Gaussian brush.
+func drawSegment(img []float64, x0, y0, x1, y1, radius float64) {
+	steps := int(math.Hypot(x1-x0, y1-y0)*2) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		cx, cy := x0+(x1-x0)*t, y0+(y1-y0)*t
+		lo, hi := int(math.Floor(-2*radius)), int(math.Ceil(2*radius))
+		for oy := lo; oy <= hi; oy++ {
+			for ox := lo; ox <= hi; ox++ {
+				px, py := int(cx)+ox, int(cy)+oy
+				if px < 0 || px >= digitSize || py < 0 || py >= digitSize {
+					continue
+				}
+				d2 := (float64(px)-cx)*(float64(px)-cx) + (float64(py)-cy)*(float64(py)-cy)
+				v := math.Exp(-d2 / (2 * radius * radius))
+				idx := py*digitSize + px
+				if v > img[idx] {
+					img[idx] = v
+				}
+			}
+		}
+	}
+}
+
+// harClasses matches the six activities of the UCI HAR dataset the paper's
+// HAR network classifies.
+var harClasses = []string{"walking", "upstairs", "downstairs", "sitting", "standing", "laying"}
+
+// harWindow is the number of accelerometer samples per window (per axis).
+const harWindow = 32
+
+// HAR generates a synthetic human-activity-recognition dataset: windows of
+// 3-axis accelerometer data (3×1×32), 6 classes. Periodic activities get
+// class-specific gait frequencies and axis phase relationships; static
+// postures get class-specific gravity orientations.
+func HAR(seed uint64, nTrain, nTest int) *Dataset {
+	d := &Dataset{Name: "har", InputShape: [3]int{3, 1, harWindow}, NumClasses: len(harClasses)}
+	rng := rand.New(rand.NewPCG(seed, 0xACCE1))
+	d.Train = makeHAR(rng, nTrain)
+	d.Test = makeHAR(rng, nTest)
+	return d
+}
+
+func makeHAR(rng *rand.Rand, n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		label := i % len(harClasses)
+		out[i] = Example{X: renderHAR(rng, label), Label: label}
+	}
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+func renderHAR(rng *rand.Rand, label int) []float64 {
+	x := make([]float64, 3*harWindow)
+	phase := rng.Float64() * 2 * math.Pi
+	jitter := func() float64 { return rng.NormFloat64() * 0.12 }
+	// Per-class parameters: gait frequency (cycles/window), vertical impact
+	// amplitude, gravity orientation (which axis carries ~1g).
+	var freq, amp float64
+	var grav [3]float64
+	switch label {
+	case 0: // walking
+		freq, amp, grav = 3.0, 0.45, [3]float64{0, 0, 1}
+	case 1: // upstairs: slower, stronger forward component
+		freq, amp, grav = 2.2, 0.55, [3]float64{0.25, 0, 0.95}
+	case 2: // downstairs: faster, sharp impacts
+		freq, amp, grav = 3.8, 0.7, [3]float64{-0.2, 0, 0.95}
+	case 3: // sitting: static, tilted
+		freq, amp, grav = 0, 0, [3]float64{0.5, 0.2, 0.8}
+	case 4: // standing: static, upright
+		freq, amp, grav = 0, 0, [3]float64{0, 0, 1}
+	case 5: // laying: static, horizontal
+		freq, amp, grav = 0, 0, [3]float64{0.95, 0.1, 0.1}
+	}
+	for t := 0; t < harWindow; t++ {
+		ph := phase + 2*math.Pi*freq*float64(t)/harWindow
+		// Axis 0: forward/back sway at gait frequency.
+		x[0*harWindow+t] = grav[0] + 0.4*amp*math.Sin(ph) + jitter()
+		// Axis 1: lateral sway at half the gait frequency.
+		x[1*harWindow+t] = grav[1] + 0.3*amp*math.Sin(ph/2) + jitter()
+		// Axis 2: vertical impacts, sharpened to resemble heel strikes.
+		imp := math.Sin(ph)
+		x[2*harWindow+t] = grav[2] + amp*imp*math.Abs(imp) + jitter()
+	}
+	return x
+}
+
+// kwClasses matches the 12-way keyword-spotting task (10 keywords plus
+// "silence" and "unknown") of the Speech Commands benchmark.
+var kwClasses = []string{
+	"yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go",
+	"silence", "unknown",
+}
+
+const (
+	kwTime = 32 // time frames
+	kwFreq = 16 // mel-like frequency bins
+)
+
+// Keyword generates a synthetic keyword-spotting dataset: 1×32×16
+// spectrogram patches, 12 classes. Each keyword is a characteristic set of
+// formant tracks (frequency trajectories over time); "silence" is noise and
+// "unknown" is a random track.
+func Keyword(seed uint64, nTrain, nTest int) *Dataset {
+	d := &Dataset{Name: "okg", InputShape: [3]int{1, kwTime, kwFreq}, NumClasses: len(kwClasses)}
+	rng := rand.New(rand.NewPCG(seed, 0x0C6))
+	d.Train = makeKeyword(rng, nTrain)
+	d.Test = makeKeyword(rng, nTest)
+	return d
+}
+
+func makeKeyword(rng *rand.Rand, n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		label := i % len(kwClasses)
+		out[i] = Example{X: renderKeyword(rng, label), Label: label}
+	}
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+// kwFormants gives, per keyword, 2–3 formant tracks as (startFreq, endFreq,
+// startTime, endTime) in unit coordinates. Tracks are rendered as bright
+// ridges in the spectrogram.
+var kwFormants = [][][4]float64{
+	{{0.2, 0.5, 0.1, 0.9}, {0.6, 0.8, 0.1, 0.6}}, // yes
+	{{0.5, 0.2, 0.1, 0.9}, {0.7, 0.7, 0.2, 0.8}}, // no
+	{{0.3, 0.9, 0.2, 0.8}},                       // up: rising
+	{{0.9, 0.2, 0.2, 0.8}},                       // down: falling
+	{{0.4, 0.4, 0.1, 0.5}, {0.6, 0.3, 0.5, 0.9}}, // left
+	{{0.3, 0.6, 0.1, 0.5}, {0.6, 0.6, 0.5, 0.9}}, // right
+	{{0.5, 0.5, 0.3, 0.7}},                       // on: short flat
+	{{0.4, 0.4, 0.2, 0.5}, {0.4, 0.4, 0.6, 0.9}}, // off: two bursts
+	{{0.8, 0.8, 0.1, 0.4}, {0.5, 0.2, 0.4, 0.9}}, // stop
+	{{0.2, 0.2, 0.2, 0.5}, {0.2, 0.7, 0.5, 0.9}}, // go
+	{}, // silence
+	{{0.1, 0.9, 0.1, 0.9}, {0.9, 0.1, 0.1, 0.9}, {0.5, 0.5, 0.3, 0.7}}, // unknown (cluttered)
+}
+
+func renderKeyword(rng *rand.Rand, label int) []float64 {
+	img := make([]float64, kwTime*kwFreq)
+	tracks := kwFormants[label]
+	if label == len(kwClasses)-1 { // "unknown": perturb tracks heavily
+		perturbed := make([][4]float64, len(tracks))
+		for i, tr := range tracks {
+			perturbed[i] = [4]float64{
+				clamp01(tr[0] + rng.NormFloat64()*0.2),
+				clamp01(tr[1] + rng.NormFloat64()*0.2),
+				tr[2], tr[3],
+			}
+		}
+		tracks = perturbed
+	}
+	warp := 0.9 + rng.Float64()*0.2   // speaking-rate variation
+	shift := rng.NormFloat64() * 0.05 // pitch variation
+	for _, tr := range tracks {
+		t0, t1 := tr[2]*warp, tr[3]*warp
+		for ti := 0; ti < kwTime; ti++ {
+			tu := float64(ti) / kwTime
+			if tu < t0 || tu > t1 {
+				continue
+			}
+			prog := (tu - t0) / (t1 - t0 + 1e-9)
+			fc := (tr[0]+(tr[1]-tr[0])*prog+shift)*kwFreq + rng.NormFloat64()*0.4
+			for fi := 0; fi < kwFreq; fi++ {
+				d := float64(fi) - fc
+				v := math.Exp(-d * d / 2.2)
+				if v > img[ti*kwFreq+fi] {
+					img[ti*kwFreq+fi] = v
+				}
+			}
+		}
+	}
+	for i := range img {
+		img[i] += math.Abs(rng.NormFloat64()) * 0.1 // noise floor
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ClassNames returns human-readable class names for the named dataset, or
+// nil if unknown.
+func ClassNames(name string) []string {
+	switch name {
+	case "digits":
+		return []string{"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"}
+	case "har":
+		return harClasses
+	case "okg":
+		return kwClasses
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigitsShapeAndBalance(t *testing.T) {
+	d := Digits(1, 200, 50)
+	if d.InputLen() != 784 {
+		t.Fatalf("InputLen = %d, want 784", d.InputLen())
+	}
+	if len(d.Train) != 200 || len(d.Test) != 50 {
+		t.Fatalf("split sizes wrong: %d/%d", len(d.Train), len(d.Test))
+	}
+	counts := make([]int, 10)
+	for _, ex := range d.Train {
+		if len(ex.X) != 784 {
+			t.Fatalf("sample length %d", len(ex.X))
+		}
+		if ex.Label < 0 || ex.Label >= 10 {
+			t.Fatalf("label out of range: %d", ex.Label)
+		}
+		counts[ex.Label]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Errorf("class %d has %d samples, want 20 (balanced)", c, n)
+		}
+	}
+}
+
+func TestDigitsDeterministic(t *testing.T) {
+	a := Digits(7, 20, 5)
+	b := Digits(7, 20, 5)
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatalf("labels differ at %d", i)
+		}
+		for j := range a.Train[i].X {
+			if a.Train[i].X[j] != b.Train[i].X[j] {
+				t.Fatalf("pixels differ at sample %d pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDigitsDifferentSeedsDiffer(t *testing.T) {
+	a := Digits(1, 10, 1)
+	b := Digits(2, 10, 1)
+	same := true
+	for i := range a.Train {
+		for j := range a.Train[i].X {
+			if a.Train[i].X[j] != b.Train[i].X[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestDigitsPixelRange(t *testing.T) {
+	d := Digits(3, 50, 10)
+	for _, ex := range append(d.Train, d.Test...) {
+		for _, v := range ex.X {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel out of [0,1]: %v", v)
+			}
+		}
+	}
+}
+
+func TestDigitsHaveInk(t *testing.T) {
+	// Every rendered digit must contain some bright pixels (the glyph).
+	d := Digits(4, 100, 0)
+	for i, ex := range d.Train {
+		sum := 0.0
+		for _, v := range ex.X {
+			sum += v
+		}
+		if sum < 5 {
+			t.Fatalf("sample %d (label %d) looks blank: ink %v", i, ex.Label, sum)
+		}
+	}
+}
+
+func TestHARShape(t *testing.T) {
+	d := HAR(1, 60, 12)
+	if d.NumClasses != 6 {
+		t.Fatalf("NumClasses = %d", d.NumClasses)
+	}
+	if d.InputLen() != 3*32 {
+		t.Fatalf("InputLen = %d", d.InputLen())
+	}
+	for _, ex := range d.Train {
+		if len(ex.X) != 96 {
+			t.Fatalf("sample length %d", len(ex.X))
+		}
+	}
+}
+
+func TestHARClassesSeparable(t *testing.T) {
+	// Static classes should have lower variance than walking on vertical axis.
+	d := HAR(2, 600, 0)
+	variance := func(ex Example, axis int) float64 {
+		mean, n := 0.0, harWindow
+		for t := 0; t < n; t++ {
+			mean += ex.X[axis*harWindow+t]
+		}
+		mean /= float64(n)
+		v := 0.0
+		for t := 0; t < n; t++ {
+			diff := ex.X[axis*harWindow+t] - mean
+			v += diff * diff
+		}
+		return v / float64(n)
+	}
+	var walkVar, sitVar float64
+	var walkN, sitN int
+	for _, ex := range d.Train {
+		switch ex.Label {
+		case 0:
+			walkVar += variance(ex, 2)
+			walkN++
+		case 3:
+			sitVar += variance(ex, 2)
+			sitN++
+		}
+	}
+	if walkVar/float64(walkN) < 4*sitVar/float64(sitN) {
+		t.Errorf("walking variance should dominate sitting: %v vs %v",
+			walkVar/float64(walkN), sitVar/float64(sitN))
+	}
+}
+
+func TestKeywordShape(t *testing.T) {
+	d := Keyword(1, 120, 24)
+	if d.NumClasses != 12 {
+		t.Fatalf("NumClasses = %d", d.NumClasses)
+	}
+	if d.InputLen() != 32*16 {
+		t.Fatalf("InputLen = %d", d.InputLen())
+	}
+}
+
+func TestKeywordSilenceIsDim(t *testing.T) {
+	d := Keyword(5, 240, 0)
+	var silence, speech float64
+	var sn, vn int
+	for _, ex := range d.Train {
+		sum := 0.0
+		for _, v := range ex.X {
+			sum += v
+		}
+		if ex.Label == 10 { // silence
+			silence += sum
+			sn++
+		} else if ex.Label < 10 {
+			speech += sum
+			vn++
+		}
+	}
+	if silence/float64(sn) > 0.7*speech/float64(vn) {
+		t.Errorf("silence should be dimmer than speech: %v vs %v",
+			silence/float64(sn), speech/float64(vn))
+	}
+}
+
+// Property: all generators produce finite values in a bounded range for any
+// seed.
+func TestGeneratorsBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		for _, d := range []*Dataset{Digits(seed, 10, 2), HAR(seed, 12, 2), Keyword(seed, 12, 2)} {
+			for _, ex := range append(d.Train, d.Test...) {
+				for _, v := range ex.X {
+					if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 10 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	if len(ClassNames("digits")) != 10 || len(ClassNames("har")) != 6 || len(ClassNames("okg")) != 12 {
+		t.Error("class name lengths wrong")
+	}
+	if ClassNames("nope") != nil {
+		t.Error("unknown dataset should return nil")
+	}
+}
+
+func BenchmarkRenderDigit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Digits(uint64(i), 1, 0)
+	}
+}

@@ -1,0 +1,185 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/tensor"
+)
+
+// Conv is a 2-D convolution with valid padding and stride 1, over an input
+// volume (C,H,W) with F filters of size (C,KH,KW). One-dimensional
+// convolutions — the shape GENESIS's separation emits — are just Convs with
+// KH or KW equal to 1.
+//
+// A Conv may carry a pruning Mask (same shape as W); masked weights stay
+// zero through training and are excluded from ParamCount and MACs. This is
+// how GENESIS's pruned convolutional layers train and deploy.
+type Conv struct {
+	F, C, KH, KW int
+	W            *tensor.Tensor // (F, C, KH, KW)
+	B            *tensor.Tensor // (F)
+	Mask         []bool         // nil = dense; else len == W.Len()
+
+	dW, dB  *tensor.Tensor
+	inCache *tensor.Tensor
+}
+
+// NewConv returns a conv layer with Xavier-initialized weights.
+func NewConv(rng *rand.Rand, f, c, kh, kw int) *Conv {
+	l := &Conv{
+		F: f, C: c, KH: kh, KW: kw,
+		W:  tensor.New(f, c, kh, kw),
+		B:  tensor.New(f),
+		dW: tensor.New(f, c, kh, kw),
+		dB: tensor.New(f),
+	}
+	fanIn := float64(c * kh * kw)
+	l.W.RandNormal(rng, math.Sqrt(2.0/fanIn))
+	return l
+}
+
+func (l *Conv) Kind() string { return "conv" }
+
+func (l *Conv) OutShape(in Shape) (Shape, error) {
+	if in[0] != l.C {
+		return Shape{}, fmt.Errorf("dnn: conv expects %d channels, got %v", l.C, in)
+	}
+	oh, ow := in[1]-l.KH+1, in[2]-l.KW+1
+	if oh <= 0 || ow <= 0 {
+		return Shape{}, fmt.Errorf("dnn: conv kernel %dx%d larger than input %v", l.KH, l.KW, in)
+	}
+	return Shape{l.F, oh, ow}, nil
+}
+
+func (l *Conv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := h-l.KH+1, w-l.KW+1
+	out := tensor.New(l.F, oh, ow)
+	l.inCache = x
+	xd, wd, od := x.Data(), l.W.Data(), out.Data()
+	for f := 0; f < l.F; f++ {
+		bias := l.B.Data()[f]
+		obase := f * oh * ow
+		for i := obase; i < obase+oh*ow; i++ {
+			od[i] = bias
+		}
+		for ci := 0; ci < c; ci++ {
+			for ky := 0; ky < l.KH; ky++ {
+				for kx := 0; kx < l.KW; kx++ {
+					wv := wd[((f*l.C+ci)*l.KH+ky)*l.KW+kx]
+					if wv == 0 {
+						continue
+					}
+					for oy := 0; oy < oh; oy++ {
+						xrow := xd[(ci*h+oy+ky)*w+kx:]
+						orow := od[obase+oy*ow:]
+						for ox := 0; ox < ow; ox++ {
+							orow[ox] += wv * xrow[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (l *Conv) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	x := l.inCache
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := dy.Dim(1), dy.Dim(2)
+	dx := tensor.New(c, h, w)
+	xd, wd, dyd := x.Data(), l.W.Data(), dy.Data()
+	dwd, dxd := l.dW.Data(), dx.Data()
+	for f := 0; f < l.F; f++ {
+		obase := f * oh * ow
+		// Bias gradient.
+		s := 0.0
+		for i := obase; i < obase+oh*ow; i++ {
+			s += dyd[i]
+		}
+		l.dB.Data()[f] += s
+		for ci := 0; ci < c; ci++ {
+			for ky := 0; ky < l.KH; ky++ {
+				for kx := 0; kx < l.KW; kx++ {
+					widx := ((f*l.C+ci)*l.KH+ky)*l.KW + kx
+					if l.Mask != nil && !l.Mask[widx] {
+						continue // pruned weight: no gradient, no input grad
+					}
+					wv := wd[widx]
+					g := 0.0
+					for oy := 0; oy < oh; oy++ {
+						xrow := xd[(ci*h+oy+ky)*w+kx:]
+						dyrow := dyd[obase+oy*ow:]
+						xbase := (ci*h + oy + ky) * w
+						for ox := 0; ox < ow; ox++ {
+							g += dyrow[ox] * xrow[ox]
+							dxd[xbase+kx+ox] += wv * dyrow[ox]
+						}
+					}
+					dwd[widx] += g
+				}
+			}
+		}
+	}
+	return dx
+}
+
+func (l *Conv) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+func (l *Conv) Grads() []*tensor.Tensor  { return []*tensor.Tensor{l.dW, l.dB} }
+
+// MACs counts one multiply-accumulate per retained weight per output
+// position.
+func (l *Conv) MACs(in Shape) int {
+	oh, ow := in[1]-l.KH+1, in[2]-l.KW+1
+	return l.retained() * oh * ow
+}
+
+func (l *Conv) retained() int {
+	if l.Mask == nil {
+		return l.W.Len()
+	}
+	n := 0
+	for _, m := range l.Mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// ParamCount counts retained weights plus biases.
+func (l *Conv) ParamCount() int { return l.retained() + l.F }
+
+// ApplyMask zeroes all pruned weights; call after every optimizer step.
+func (l *Conv) ApplyMask() {
+	if l.Mask == nil {
+		return
+	}
+	for i, m := range l.Mask {
+		if !m {
+			l.W.Data()[i] = 0
+		}
+	}
+}
+
+// Prune installs a pruning mask dropping weights with |w| <= threshold and
+// zeroes them. It returns the number of retained weights.
+func (l *Conv) Prune(threshold float64) int {
+	l.Mask = make([]bool, l.W.Len())
+	for i, v := range l.W.Data() {
+		l.Mask[i] = math.Abs(v) > threshold
+	}
+	l.ApplyMask()
+	return l.retained()
+}
+
+// ensureGrads (re)creates gradient buffers after deserialization.
+func (l *Conv) ensureGrads() {
+	if l.dW == nil {
+		l.dW = tensor.New(l.F, l.C, l.KH, l.KW)
+		l.dB = tensor.New(l.F)
+	}
+}

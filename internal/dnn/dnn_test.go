@@ -1,0 +1,285 @@
+package dnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dParam by central differences, where loss is
+// an arbitrary scalar function of the network output.
+func numericGrad(f func() float64, p *tensor.Tensor, i int) float64 {
+	const eps = 1e-5
+	orig := p.Data()[i]
+	p.Data()[i] = orig + eps
+	up := f()
+	p.Data()[i] = orig - eps
+	down := f()
+	p.Data()[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+// checkLayerGradients runs a full analytic backward pass through the layers
+// and compares every parameter gradient and the input gradient against
+// numerical differentiation of a quadratic loss.
+func checkLayerGradients(t *testing.T, in Shape, layers ...Layer) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(99, 0))
+	x := tensor.New(in[0], in[1], in[2])
+	x.RandNormal(rng, 1)
+
+	forward := func() float64 {
+		a := x.Clone()
+		for _, l := range layers {
+			a = l.Forward(a)
+		}
+		// loss = 0.5 * sum(y^2), so dLoss/dy = y
+		s := 0.0
+		for _, v := range a.Data() {
+			s += v * v
+		}
+		return 0.5 * s
+	}
+
+	// Analytic pass.
+	a := x.Clone()
+	for _, l := range layers {
+		a = l.Forward(a)
+	}
+	dy := a.Clone()
+	for i := len(layers) - 1; i >= 0; i-- {
+		dy = layers[i].Backward(dy)
+	}
+
+	for li, l := range layers {
+		params, grads := l.Params(), l.Grads()
+		for pi, p := range params {
+			n := p.Len()
+			stride := 1
+			if n > 40 {
+				stride = n / 40 // sample large tensors
+			}
+			for i := 0; i < n; i += stride {
+				// Pruned conv weights are frozen: their analytic gradient
+				// is zero by design, so skip the numeric comparison.
+				if c, ok := l.(*Conv); ok && pi == 0 && c.Mask != nil && !c.Mask[i] {
+					continue
+				}
+				want := numericGrad(forward, p, i)
+				got := grads[pi].Data()[i]
+				if math.Abs(want-got) > 1e-4*(1+math.Abs(want)) {
+					t.Errorf("layer %d param %d[%d]: analytic %v vs numeric %v", li, pi, i, got, want)
+					return
+				}
+			}
+		}
+	}
+	// Input gradient.
+	for i := 0; i < x.Len(); i += 1 + x.Len()/40 {
+		want := numericGrad(forward, x, i)
+		got := dy.Data()[i]
+		if math.Abs(want-got) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("input grad [%d]: analytic %v vs numeric %v", i, got, want)
+			return
+		}
+	}
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 0))
+	checkLayerGradients(t, Shape{2, 6, 6}, NewConv(rng, 3, 2, 3, 3))
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 0))
+	checkLayerGradients(t, Shape{3, 1, 12}, NewConv(rng, 4, 3, 1, 5))
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 0))
+	checkLayerGradients(t, Shape{1, 1, 10}, NewDense(rng, 7, 10))
+}
+
+func TestSparseDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 0))
+	d := NewDense(rng, 8, 12)
+	sd := NewSparseDense(d, 0.2) // prune small weights
+	if sd.W.NNZ() == 0 || sd.W.NNZ() == 8*12 {
+		t.Fatalf("pruning degenerate: nnz=%d", sd.W.NNZ())
+	}
+	checkLayerGradients(t, Shape{1, 1, 12}, sd)
+}
+
+func TestStackedGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 0))
+	checkLayerGradients(t, Shape{1, 8, 8},
+		NewConv(rng, 4, 1, 3, 3), NewReLU(), NewMaxPool(2),
+		NewFlatten(), NewDense(rng, 5, 4*3*3))
+}
+
+func TestMaskedConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 0))
+	c := NewConv(rng, 3, 2, 3, 3)
+	c.Prune(0.15)
+	if c.retained() == 0 || c.retained() == c.W.Len() {
+		t.Fatalf("pruning degenerate: %d/%d", c.retained(), c.W.Len())
+	}
+	checkLayerGradients(t, Shape{2, 6, 6}, c)
+}
+
+func TestConvOutShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	c := NewConv(rng, 2, 3, 5, 5)
+	if _, err := c.OutShape(Shape{2, 10, 10}); err == nil {
+		t.Error("wrong channel count should error")
+	}
+	if _, err := c.OutShape(Shape{3, 4, 4}); err == nil {
+		t.Error("kernel larger than input should error")
+	}
+	if s, err := c.OutShape(Shape{3, 10, 10}); err != nil || s != (Shape{2, 6, 6}) {
+		t.Errorf("OutShape = %v, %v", s, err)
+	}
+}
+
+func TestPoolOutShapeError(t *testing.T) {
+	p := NewMaxPool(2)
+	if _, err := p.OutShape(Shape{1, 5, 4}); err == nil {
+		t.Error("odd spatial size should error for window 2")
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	n := MNISTNet(1)
+	out, err := n.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Errorf("MNIST output = %v", out)
+	}
+	if n.NumClasses() != 10 {
+		t.Errorf("NumClasses = %d", n.NumClasses())
+	}
+	for _, name := range []string{"har", "okg"} {
+		nn, err := NetworkFor(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nn.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMACsAndParams(t *testing.T) {
+	n := MNISTNet(1)
+	// conv1: 8 filters x 1x5x5 over 24x24 outputs.
+	wantConv1 := 8 * 25 * 24 * 24
+	if got := n.LayerMACs()[0]; got != wantConv1 {
+		t.Errorf("conv1 MACs = %d, want %d", got, wantConv1)
+	}
+	if n.MACs() <= wantConv1 {
+		t.Errorf("total MACs should exceed conv1")
+	}
+	// Params: conv1 8*25+8, conv2 16*8*25+16, fc1 256*64+64, fc2 64*10+10
+	want := 8*25 + 8 + 16*8*25 + 16 + 256*64 + 64 + 640 + 10
+	if got := n.ParamCount(); got != want {
+		t.Errorf("ParamCount = %d, want %d", got, want)
+	}
+	if n.ParamBytes() != 2*want {
+		t.Errorf("ParamBytes = %d, want %d", n.ParamBytes(), 2*want)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	grad := make([]float64, 3)
+	loss := SoftmaxCrossEntropy([]float64{1, 1, 1}, 0, grad)
+	if math.Abs(loss-math.Log(3)) > 1e-9 {
+		t.Errorf("uniform loss = %v, want ln 3", loss)
+	}
+	// Gradient sums to zero.
+	if math.Abs(grad[0]+grad[1]+grad[2]) > 1e-9 {
+		t.Errorf("gradient should sum to 0: %v", grad)
+	}
+	// Confident correct prediction has near-zero loss.
+	loss = SoftmaxCrossEntropy([]float64{10, -10, -10}, 0, grad)
+	if loss > 1e-6 {
+		t.Errorf("confident loss = %v", loss)
+	}
+}
+
+func TestTrainingLearnsXORLikeTask(t *testing.T) {
+	// A small dense net must fit a simple nonlinear labelled set.
+	rng := rand.New(rand.NewPCG(8, 0))
+	_ = rng
+	n := NewNetwork("toy", Shape{1, 1, 2})
+	r2 := rand.New(rand.NewPCG(9, 0))
+	n.Add(NewDense(r2, 8, 2), NewReLU(), NewDense(r2, 2, 8))
+	ds := xorDataset()
+	Train(n, ds, TrainConfig{Epochs: 200, LR: 0.05, Momentum: 0.9, Decay: 1, Seed: 1})
+	if acc := Evaluate(n, ds.Train); acc < 0.99 {
+		t.Errorf("XOR accuracy = %v, want ~1.0", acc)
+	}
+}
+
+func TestConfusionAndBinaryRates(t *testing.T) {
+	conf := [][]int{
+		{8, 2}, // class 0: 8 right, 2 wrong
+		{1, 9}, // class 1: 9 right, 1 wrong
+	}
+	tp, tn := BinaryRates(conf, 1)
+	if math.Abs(tp-0.9) > 1e-12 || math.Abs(tn-0.8) > 1e-12 {
+		t.Errorf("tp=%v tn=%v, want 0.9/0.8", tp, tn)
+	}
+}
+
+func TestSerializationRoundtrip(t *testing.T) {
+	n := MNISTNet(3)
+	// Prune one conv and sparsify one dense to exercise all layer kinds.
+	n.Layers[3].(*Conv).Prune(0.05)
+	d := n.Layers[7].(*Dense)
+	n.Layers[7] = NewSparseDense(d, 0.05)
+	var buf bytes.Buffer
+	if err := n.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must match bit-for-bit.
+	rng := rand.New(rand.NewPCG(11, 0))
+	x := make([]float64, 784)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	a, b := n.Forward(x), n2.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs after roundtrip: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Decoded network must be trainable (grads restored).
+	if n2.Layers[7].(*SparseDense).dVals == nil {
+		t.Error("sparse grads not restored")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := HARNet(1)
+	c := n.Clone()
+	c.Layers[0].(*Conv).W.Data()[0] += 100
+	if n.Layers[0].(*Conv).W.Data()[0] == c.Layers[0].(*Conv).W.Data()[0] {
+		t.Error("clone shares weights")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := MNISTNet(1).Summary()
+	if len(s) == 0 || !bytes.Contains([]byte(s), []byte("conv")) {
+		t.Errorf("summary missing conv: %q", s)
+	}
+}

@@ -1,0 +1,32 @@
+package dnn
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+)
+
+// xorDataset builds a small XOR-style nonlinear classification set.
+func xorDataset() *dataset.Dataset {
+	rng := rand.New(rand.NewPCG(42, 0))
+	ds := &dataset.Dataset{Name: "xor", InputShape: [3]int{1, 1, 2}, NumClasses: 2}
+	for i := 0; i < 80; i++ {
+		a, b := rng.Float64() > 0.5, rng.Float64() > 0.5
+		x := []float64{0.1, 0.1}
+		if a {
+			x[0] = 0.9
+		}
+		if b {
+			x[1] = 0.9
+		}
+		x[0] += rng.NormFloat64() * 0.03
+		x[1] += rng.NormFloat64() * 0.03
+		label := 0
+		if a != b {
+			label = 1
+		}
+		ds.Train = append(ds.Train, dataset.Example{X: x, Label: label})
+	}
+	ds.Test = ds.Train
+	return ds
+}

@@ -1,0 +1,407 @@
+package dnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/fixed"
+	"repro/internal/tensor"
+)
+
+// QKind identifies the operation a quantized layer performs.
+type QKind uint8
+
+// Quantized layer kinds.
+const (
+	QConv QKind = iota
+	QDense
+	QSparseDense
+	QReLU
+	QPool
+	QFlatten
+)
+
+func (k QKind) String() string {
+	switch k {
+	case QConv:
+		return "conv"
+	case QDense:
+		return "dense"
+	case QSparseDense:
+		return "sparse-dense"
+	case QReLU:
+		return "relu"
+	case QPool:
+		return "pool"
+	case QFlatten:
+		return "flatten"
+	}
+	return "?"
+}
+
+// QuantLayer is one layer of a quantized model: Q15 weights plus the fixed
+// power-of-two scales GENESIS assigns during post-training quantization.
+// This is the layer descriptor the device runtimes (SONIC, TAILS, and the
+// task-tiled baselines) consume.
+type QuantLayer struct {
+	Kind QKind
+
+	// Convolution geometry (QConv) or matrix geometry (QDense/QSparseDense,
+	// where Out==F and In==C).
+	F, C, KH, KW int
+	Out, In      int
+
+	W []fixed.Q15 // dense weights (row-major) or CSR values for sparse
+	B []fixed.Q15 // biases, quantized at scale InScale+WScale
+
+	// NZ lists flat indices of nonzero weights for pruned conv layers; nil
+	// means the filter is dense. Device sparse-conv kernels walk this list.
+	NZ []int32
+
+	// CSR structure for QSparseDense.
+	RowPtr []int32
+	Cols   []int32
+
+	Window int // pooling window (QPool)
+
+	// Shift maps the Q30 accumulator into the output's Q15 range:
+	// out = acc >> (15 + Shift), where Shift = OutScale-InScale-WScale.
+	Shift    int
+	InScale  fixed.Scale
+	WScale   fixed.Scale
+	OutScale fixed.Scale
+
+	InShape  Shape
+	OutShape Shape
+}
+
+// MACs returns the layer's multiply-accumulate count per inference.
+func (l *QuantLayer) MACs() int {
+	switch l.Kind {
+	case QConv:
+		per := l.OutShape[1] * l.OutShape[2]
+		if l.NZ != nil {
+			return len(l.NZ) * per
+		}
+		return len(l.W) * per
+	case QDense:
+		return l.Out * l.In
+	case QSparseDense:
+		return len(l.W)
+	}
+	return 0
+}
+
+// WeightWords returns the number of 16-bit words of weight/index storage the
+// layer occupies in FRAM.
+func (l *QuantLayer) WeightWords() int {
+	switch l.Kind {
+	case QConv:
+		if l.NZ != nil {
+			return 2*len(l.NZ) + len(l.B) // value + packed index per nonzero
+		}
+		return len(l.W) + len(l.B)
+	case QDense:
+		return len(l.W) + len(l.B)
+	case QSparseDense:
+		return 2*len(l.W) + len(l.RowPtr) + len(l.B)
+	}
+	return 0
+}
+
+// QuantModel is a quantized, deployable network image.
+type QuantModel struct {
+	Name    string
+	In      Shape
+	InScale fixed.Scale
+	Layers  []QuantLayer
+}
+
+// scaleMargin widens calibrated activation ranges so that test inputs
+// slightly outside the calibration range do not saturate.
+const scaleMargin = 1.5
+
+// Quantize converts a trained float network into a Q15 model, calibrating
+// per-layer activation scales on the given samples.
+func Quantize(n *Network, calib [][]float64) (*QuantModel, error) {
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("dnn: quantization requires calibration samples")
+	}
+	// Pass 1: record max |activation| at the input and after every layer.
+	maxAbs := make([]float64, len(n.Layers)+1)
+	for _, x := range calib {
+		t := tensor.FromSlice(append([]float64(nil), x...), n.In[0], n.In[1], n.In[2])
+		for i := 0; i < len(x); i++ {
+			if a := math.Abs(x[i]); a > maxAbs[0] {
+				maxAbs[0] = a
+			}
+		}
+		for li, l := range n.Layers {
+			t = l.Forward(t)
+			if m := t.MaxAbs(); m > maxAbs[li+1] {
+				maxAbs[li+1] = m
+			}
+		}
+	}
+	scales := make([]fixed.Scale, len(maxAbs))
+	for i, m := range maxAbs {
+		scales[i] = fixed.ScaleFor(m * scaleMargin)
+	}
+	// Shape-preserving layers must keep their input scale so their device
+	// kernels are pure data movement/comparison.
+	shape := n.In
+	for li, l := range n.Layers {
+		switch l.(type) {
+		case *ReLU, *MaxPool, *Flatten:
+			scales[li+1] = scales[li]
+		}
+		shape, _ = l.OutShape(shape)
+	}
+	_ = shape
+
+	qm := &QuantModel{Name: n.Name, In: n.In, InScale: scales[0]}
+	in := n.In
+	for li, l := range n.Layers {
+		out, err := l.OutShape(in)
+		if err != nil {
+			return nil, err
+		}
+		ql := QuantLayer{InShape: in, OutShape: out,
+			InScale: scales[li], OutScale: scales[li+1]}
+		switch t := l.(type) {
+		case *Conv:
+			ql.Kind = QConv
+			ql.F, ql.C, ql.KH, ql.KW = t.F, t.C, t.KH, t.KW
+			ql.WScale = fixed.ScaleFor(t.W.MaxAbs())
+			ql.W = quantizeSlice(t.W.Data(), ql.WScale)
+			ql.B = quantizeSlice(t.B.Data(), ql.InScale+ql.WScale)
+			ql.Shift = int(ql.OutScale) - int(ql.InScale) - int(ql.WScale)
+			if t.Mask != nil {
+				for i, m := range t.Mask {
+					if m && ql.W[i] != 0 {
+						ql.NZ = append(ql.NZ, int32(i))
+					}
+				}
+			}
+		case *Dense:
+			ql.Kind = QDense
+			ql.Out, ql.In = t.Out, t.In
+			ql.WScale = fixed.ScaleFor(t.W.MaxAbs())
+			ql.W = quantizeSlice(t.W.Data(), ql.WScale)
+			ql.B = quantizeSlice(t.B.Data(), ql.InScale+ql.WScale)
+			ql.Shift = int(ql.OutScale) - int(ql.InScale) - int(ql.WScale)
+		case *SparseDense:
+			ql.Kind = QSparseDense
+			ql.Out, ql.In = t.Out, t.In
+			maxW := 0.0
+			for _, v := range t.W.Vals {
+				if a := math.Abs(v); a > maxW {
+					maxW = a
+				}
+			}
+			ql.WScale = fixed.ScaleFor(maxW)
+			ql.W = quantizeSlice(t.W.Vals, ql.WScale)
+			ql.B = quantizeSlice(t.B.Data(), ql.InScale+ql.WScale)
+			ql.RowPtr = append([]int32(nil), t.W.RowPtr...)
+			ql.Cols = append([]int32(nil), t.W.Cols...)
+			ql.Shift = int(ql.OutScale) - int(ql.InScale) - int(ql.WScale)
+		case *ReLU:
+			ql.Kind = QReLU
+		case *MaxPool:
+			ql.Kind = QPool
+			ql.Window = t.Window
+		case *Flatten:
+			ql.Kind = QFlatten
+		default:
+			return nil, fmt.Errorf("dnn: cannot quantize layer kind %q", l.Kind())
+		}
+		qm.Layers = append(qm.Layers, ql)
+		in = out
+	}
+	return qm, nil
+}
+
+func quantizeSlice(vals []float64, s fixed.Scale) []fixed.Q15 {
+	out := make([]fixed.Q15, len(vals))
+	for i, v := range vals {
+		out[i] = s.Quantize(v)
+	}
+	return out
+}
+
+// QuantizeInput converts a float input sample into the model's input scale.
+func (m *QuantModel) QuantizeInput(x []float64) []fixed.Q15 {
+	out := make([]fixed.Q15, len(x))
+	for i, v := range x {
+		out[i] = m.InScale.Quantize(v)
+	}
+	return out
+}
+
+// Forward runs the quantized model on a quantized input on the host (no
+// device simulation). This is the bit-exact reference the device runtimes
+// are validated against: SONIC, TAILS, and the baselines must all produce
+// exactly these outputs.
+func (m *QuantModel) Forward(x []fixed.Q15) []fixed.Q15 {
+	act := append([]fixed.Q15(nil), x...)
+	for i := range m.Layers {
+		act = m.Layers[i].forward(act)
+	}
+	return act
+}
+
+func (l *QuantLayer) forward(x []fixed.Q15) []fixed.Q15 {
+	switch l.Kind {
+	case QConv:
+		return l.forwardConv(x)
+	case QDense:
+		out := make([]fixed.Q15, l.Out)
+		for o := 0; o < l.Out; o++ {
+			var acc fixed.Acc
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, w := range row {
+				acc = acc.MAC(w, x[i])
+			}
+			acc = acc.AddQ(l.B[o])
+			out[o] = acc.SatShiftSigned(l.Shift)
+		}
+		return out
+	case QSparseDense:
+		out := make([]fixed.Q15, l.Out)
+		for o := 0; o < l.Out; o++ {
+			var acc fixed.Acc
+			for p := l.RowPtr[o]; p < l.RowPtr[o+1]; p++ {
+				acc = acc.MAC(l.W[p], x[l.Cols[p]])
+			}
+			acc = acc.AddQ(l.B[o])
+			out[o] = acc.SatShiftSigned(l.Shift)
+		}
+		return out
+	case QReLU:
+		out := make([]fixed.Q15, len(x))
+		for i, v := range x {
+			out[i] = fixed.ReLU(v)
+		}
+		return out
+	case QPool:
+		c, h, w := l.InShape[0], l.InShape[1], l.InShape[2]
+		oh, ow := h/l.Window, w/l.Window
+		out := make([]fixed.Q15, c*oh*ow)
+		n := 0
+		for ci := 0; ci < c; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := fixed.MinusOne
+					for ky := 0; ky < l.Window; ky++ {
+						for kx := 0; kx < l.Window; kx++ {
+							v := x[(ci*h+oy*l.Window+ky)*w+ox*l.Window+kx]
+							best = fixed.Max(best, v)
+						}
+					}
+					out[n] = best
+					n++
+				}
+			}
+		}
+		return out
+	case QFlatten:
+		return x
+	}
+	panic("dnn: unknown quant layer kind")
+}
+
+// forwardConv computes the conv in the same loop-ordered fashion SONIC uses
+// (filter-element outer loop, accumulating partials) so the host reference
+// and the device kernels follow identical arithmetic.
+func (l *QuantLayer) forwardConv(x []fixed.Q15) []fixed.Q15 {
+	h, w := l.InShape[1], l.InShape[2]
+	oh, ow := l.OutShape[1], l.OutShape[2]
+	accs := make([]fixed.Acc, l.F*oh*ow)
+	apply := func(widx int, wv fixed.Q15) {
+		kx := widx % l.KW
+		ky := (widx / l.KW) % l.KH
+		ci := (widx / (l.KW * l.KH)) % l.C
+		f := widx / (l.KW * l.KH * l.C)
+		base := f * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				xi := x[(ci*h+oy+ky)*w+ox+kx]
+				accs[base+oy*ow+ox] = accs[base+oy*ow+ox].MAC(wv, xi)
+			}
+		}
+	}
+	if l.NZ != nil {
+		for _, widx := range l.NZ {
+			apply(int(widx), l.W[widx])
+		}
+	} else {
+		for widx, wv := range l.W {
+			if wv != 0 {
+				apply(widx, wv)
+			}
+		}
+	}
+	out := make([]fixed.Q15, l.F*oh*ow)
+	for f := 0; f < l.F; f++ {
+		for i := f * oh * ow; i < (f+1)*oh*ow; i++ {
+			out[i] = accs[i].AddQ(l.B[f]).SatShiftSigned(l.Shift)
+		}
+	}
+	return out
+}
+
+// Infer returns the argmax class for a float input.
+func (m *QuantModel) Infer(x []float64) int {
+	logits := m.Forward(m.QuantizeInput(x))
+	best, bi := fixed.MinusOne, 0
+	for i, v := range logits {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// MACs returns the total multiply-accumulates per inference.
+func (m *QuantModel) MACs() int {
+	t := 0
+	for i := range m.Layers {
+		t += m.Layers[i].MACs()
+	}
+	return t
+}
+
+// WeightWords returns total 16-bit words of parameter storage.
+func (m *QuantModel) WeightWords() int {
+	t := 0
+	for i := range m.Layers {
+		t += m.Layers[i].WeightWords()
+	}
+	return t
+}
+
+// SaveFile writes the quantized model to path in gob format.
+func (m *QuantModel) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(m)
+}
+
+// LoadQuantFile reads a quantized model written by SaveFile.
+func LoadQuantFile(path string) (*QuantModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m QuantModel
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

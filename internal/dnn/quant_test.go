@@ -1,0 +1,182 @@
+package dnn
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+)
+
+// trainSmall fits a network on a small synthetic dataset; shared by the
+// quantization tests.
+func trainSmall(t *testing.T, name string) (*Network, *dataset.Dataset) {
+	t.Helper()
+	ds, err := DatasetFor(name, 1, 600, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NetworkFor(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	Train(n, ds, cfg)
+	return n, ds
+}
+
+func TestTrainingReachesUsefulAccuracyHAR(t *testing.T) {
+	n, ds := trainSmall(t, "har")
+	acc := Evaluate(n, ds.Test)
+	if acc < 0.7 {
+		t.Errorf("HAR accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestTrainingReachesUsefulAccuracyDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training digits is slow")
+	}
+	n, ds := trainSmall(t, "digits")
+	acc := Evaluate(n, ds.Test)
+	if acc < 0.6 {
+		t.Errorf("digits accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+func TestQuantizedModelAgreesWithFloat(t *testing.T) {
+	n, ds := trainSmall(t, "har")
+	calib := make([][]float64, 0, 32)
+	for i := 0; i < 32 && i < len(ds.Train); i++ {
+		calib = append(calib, ds.Train[i].X)
+	}
+	qm, err := Quantize(n, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, ex := range ds.Test {
+		if qm.Infer(ex.X) == n.Infer(ex.X) {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(len(ds.Test))
+	if frac < 0.9 {
+		t.Errorf("quantized/float agreement = %v, want >= 0.9", frac)
+	}
+}
+
+func TestQuantizeRequiresCalibration(t *testing.T) {
+	n := HARNet(1)
+	if _, err := Quantize(n, nil); err == nil {
+		t.Error("expected error without calibration samples")
+	}
+}
+
+func TestQuantMACsMatchFloat(t *testing.T) {
+	n := HARNet(1)
+	ds := dataset.HAR(1, 4, 0)
+	qm, err := Quantize(n, [][]float64{ds.Train[0].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.MACs() != n.MACs() {
+		t.Errorf("quant MACs %d != float MACs %d", qm.MACs(), n.MACs())
+	}
+	if qm.WeightWords() == 0 {
+		t.Error("WeightWords should be nonzero")
+	}
+}
+
+func TestQuantSparseAndPrunedLayers(t *testing.T) {
+	n := HARNet(2)
+	ds := dataset.HAR(2, 64, 16)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	Train(n, ds, cfg)
+	// Prune the conv and sparsify the first dense layer.
+	n.Layers[0].(*Conv).Prune(0.05)
+	n.Layers[3] = NewSparseDense(n.Layers[3].(*Dense), 0.05)
+	qm, err := Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.Layers[0].NZ == nil {
+		t.Error("pruned conv should carry an NZ index list")
+	}
+	if qm.Layers[3].Kind != QSparseDense || qm.Layers[3].RowPtr == nil {
+		t.Error("sparse dense not quantized as sparse")
+	}
+	// Sparse layer MACs equal its NNZ.
+	if got := qm.Layers[3].MACs(); got != len(qm.Layers[3].W) {
+		t.Errorf("sparse MACs = %d, want %d", got, len(qm.Layers[3].W))
+	}
+	// The quantized model must still be runnable.
+	out := qm.Forward(qm.QuantizeInput(ds.Test[0].X))
+	if len(out) != 6 {
+		t.Errorf("output length = %d", len(out))
+	}
+}
+
+func TestQuantShapePreservingScales(t *testing.T) {
+	n := HARNet(1)
+	ds := dataset.HAR(1, 2, 0)
+	qm, err := Quantize(n, [][]float64{ds.Train[0].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range qm.Layers {
+		switch l.Kind {
+		case QReLU, QPool, QFlatten:
+			if l.InScale != l.OutScale {
+				t.Errorf("layer %d (%v): shape-preserving layer changed scale %d->%d",
+					i, l.Kind, l.InScale, l.OutScale)
+			}
+		}
+	}
+}
+
+func TestQKindString(t *testing.T) {
+	kinds := []QKind{QConv, QDense, QSparseDense, QReLU, QPool, QFlatten}
+	want := []string{"conv", "dense", "sparse-dense", "relu", "pool", "flatten"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("QKind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestQuantizeInputScale(t *testing.T) {
+	n := HARNet(1)
+	ds := dataset.HAR(1, 2, 0)
+	qm, _ := Quantize(n, [][]float64{ds.Train[0].X})
+	q := qm.QuantizeInput(ds.Train[0].X)
+	for i, v := range q {
+		back := qm.InScale.Apply(v)
+		if diff := back - ds.Train[0].X[i]; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("input quantization error too large at %d: %v", i, diff)
+		}
+	}
+}
+
+func BenchmarkFloatForwardHAR(b *testing.B) {
+	n := HARNet(1)
+	ds := dataset.HAR(1, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(ds.Train[0].X)
+	}
+}
+
+func BenchmarkQuantForwardHAR(b *testing.B) {
+	n := HARNet(1)
+	ds := dataset.HAR(1, 1, 0)
+	qm, _ := Quantize(n, [][]float64{ds.Train[0].X})
+	x := qm.QuantizeInput(ds.Train[0].X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qm.Forward(x)
+	}
+}
+
+var _ = fixed.One // keep import if tests above change

@@ -1,0 +1,96 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+)
+
+// The three reference architectures mirror the paper's Table 2 networks
+// (image classification, human activity recognition, keyword spotting),
+// scaled to the synthetic datasets: a two-conv LeNet-style image network,
+// a 1-D conv network over accelerometer windows, and a conv + deep-FC
+// network over spectrograms.
+
+// MNISTNet builds the uncompressed image-classification network.
+func MNISTNet(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x31))
+	n := NewNetwork("mnist", Shape{1, 28, 28})
+	n.Add(
+		NewConv(rng, 8, 1, 5, 5), // -> 8x24x24
+		NewReLU(),
+		NewMaxPool(2),             // -> 8x12x12
+		NewConv(rng, 16, 8, 5, 5), // -> 16x8x8
+		NewReLU(),
+		NewMaxPool(2), // -> 16x4x4
+		NewFlatten(),
+		NewDense(rng, 64, 256),
+		NewReLU(),
+		NewDense(rng, 10, 64),
+	)
+	return n
+}
+
+// HARNet builds the uncompressed human-activity-recognition network: 1-D
+// convolution over 3-axis accelerometer windows.
+func HARNet(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x32))
+	n := NewNetwork("har", Shape{3, 1, 32})
+	n.Add(
+		NewConv(rng, 16, 3, 1, 9), // -> 16x1x24
+		NewReLU(),
+		NewFlatten(), // -> 384
+		NewDense(rng, 64, 384),
+		NewReLU(),
+		NewDense(rng, 6, 64),
+	)
+	return n
+}
+
+// OkGNet builds the uncompressed keyword-spotting network: a conv front-end
+// over the spectrogram followed by a deep stack of fully-connected layers,
+// mirroring the paper's OkG topology.
+func OkGNet(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x33))
+	n := NewNetwork("okg", Shape{1, 32, 16})
+	n.Add(
+		NewConv(rng, 12, 1, 5, 5), // -> 12x28x12
+		NewReLU(),
+		NewMaxPool(2), // -> 12x14x6
+		NewFlatten(),  // -> 1008
+		NewDense(rng, 96, 1008),
+		NewReLU(),
+		NewDense(rng, 32, 96),
+		NewReLU(),
+		NewDense(rng, 12, 32),
+	)
+	return n
+}
+
+// NetworkFor returns the uncompressed reference network matching a dataset
+// name ("digits"/"mnist", "har", "okg").
+func NetworkFor(name string, seed uint64) (*Network, error) {
+	switch name {
+	case "mnist", "digits":
+		return MNISTNet(seed), nil
+	case "har":
+		return HARNet(seed), nil
+	case "okg", "keyword":
+		return OkGNet(seed), nil
+	}
+	return nil, fmt.Errorf("dnn: unknown network %q", name)
+}
+
+// DatasetFor generates the synthetic dataset matching a network name.
+func DatasetFor(name string, seed uint64, nTrain, nTest int) (*dataset.Dataset, error) {
+	switch name {
+	case "mnist", "digits":
+		return dataset.Digits(seed, nTrain, nTest), nil
+	case "har":
+		return dataset.HAR(seed, nTrain, nTest), nil
+	case "okg", "keyword":
+		return dataset.Keyword(seed, nTrain, nTest), nil
+	}
+	return nil, fmt.Errorf("dnn: unknown dataset %q", name)
+}

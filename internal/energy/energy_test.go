@@ -1,0 +1,247 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapacitorUsableEnergy(t *testing.T) {
+	// 100 uF between 1.88 V and 1.8 V: 0.5 * 1e-4 * (3.5344 - 3.24) J.
+	got := Cap100uF.UsableNJ()
+	want := 0.5 * 1e-4 * (1.88*1.88 - 1.8*1.8) * 1e9
+	if math.Abs(got-want) > 1 {
+		t.Errorf("UsableNJ = %v, want %v", got, want)
+	}
+	// Larger caps buffer proportionally more.
+	if r := Cap1mF.UsableNJ() / Cap100uF.UsableNJ(); math.Abs(r-10) > 1e-9 {
+		t.Errorf("1mF/100uF = %v, want 10", r)
+	}
+}
+
+func TestContinuousNeverFails(t *testing.T) {
+	var c Continuous
+	for i := 0; i < 1000; i++ {
+		if !c.Consume(1e12) {
+			t.Fatal("continuous power must never fail")
+		}
+	}
+	if !math.IsInf(c.BufferEnergy(), 1) {
+		t.Error("continuous buffer should be infinite")
+	}
+	if c.Recharge() != 0 {
+		t.Error("continuous recharge should be free")
+	}
+}
+
+func TestIntermittentFailsWhenDrained(t *testing.T) {
+	p := NewIntermittent(Cap100uF, ConstantHarvester{Watts: DefaultRFWatts})
+	budget := p.BufferEnergy()
+	n := 0
+	for p.Consume(100) { // 100 nJ ops
+		n++
+		if n > 10_000_000 {
+			t.Fatal("never failed")
+		}
+	}
+	want := int(budget / 100)
+	if n < want-1 || n > want+1 {
+		t.Errorf("ops before failure = %d, want ~%d", n, want)
+	}
+}
+
+func TestIntermittentRechargeTime(t *testing.T) {
+	p := NewIntermittent(Cap100uF, ConstantHarvester{Watts: 1e-3}) // 1 mW
+	for p.Consume(1000) {
+	}
+	dead := p.Recharge()
+	// Refill ~450.5 uJ at 1 mW -> ~0.45 s.
+	want := Cap100uF.UsableNJ() * 1e-9 / 1e-3
+	if math.Abs(dead-want) > 0.01 {
+		t.Errorf("recharge time = %v, want ~%v", dead, want)
+	}
+	// After recharge, the buffer is full again.
+	if !p.Consume(p.BufferEnergy() - 1) {
+		t.Error("buffer should be full after recharge")
+	}
+}
+
+func TestIntermittentPartialRecharge(t *testing.T) {
+	p := NewIntermittent(Cap1mF, ConstantHarvester{Watts: 1e-3})
+	// Drain only half, then recharge: dead time should be ~half of full.
+	half := p.BufferEnergy() / 2
+	if !p.Consume(half) {
+		t.Fatal("half drain should succeed")
+	}
+	dead := p.Recharge()
+	full := p.BufferEnergy() * 1e-9 / 1e-3
+	if math.Abs(dead-full/2) > full*0.02 {
+		t.Errorf("partial recharge = %v, want ~%v", dead, full/2)
+	}
+}
+
+// Property: total consumed energy before failure never exceeds the buffer.
+func TestBufferBoundProperty(t *testing.T) {
+	f := func(opCost uint16) bool {
+		cost := float64(opCost%5000) + 1
+		p := NewIntermittent(Cap100uF, ConstantHarvester{Watts: 1e-3})
+		total := 0.0
+		for p.Consume(cost) {
+			total += cost
+		}
+		return total <= p.BufferEnergy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStochasticHarvesterStatistics(t *testing.T) {
+	h := NewStochasticHarvester(3e-3, 0.3, 1)
+	sum := 0.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		p := h.PowerW()
+		if p <= 0 {
+			t.Fatal("power must be positive")
+		}
+		sum += p
+	}
+	mean := sum / float64(n)
+	if mean < 2.5e-3 || mean > 3.5e-3 {
+		t.Errorf("mean power = %v, want ~3e-3", mean)
+	}
+}
+
+func TestSolarHarvesterBounds(t *testing.T) {
+	h := NewSolarHarvester(10e-3, 2)
+	for i := 0; i < 1000; i++ {
+		p := h.PowerW()
+		if p <= 0 || p > 10e-3 {
+			t.Fatalf("solar power out of range: %v", p)
+		}
+	}
+}
+
+func TestFailAfterOpsSchedule(t *testing.T) {
+	f := NewFailAfterOps(3, 2)
+	// First window: ops 1,2 succeed, op 3 fails.
+	if !f.Consume(0) || !f.Consume(0) {
+		t.Fatal("first two ops should succeed")
+	}
+	if f.Consume(0) {
+		t.Fatal("third op should fail")
+	}
+	if f.Recharge() != 0 {
+		t.Error("fault injection has zero dead time")
+	}
+	// Next windows: every 2 ops.
+	if !f.Consume(0) {
+		t.Fatal("op after recharge should succeed")
+	}
+	if f.Consume(0) {
+		t.Fatal("second op should fail (period 2)")
+	}
+}
+
+func TestFailAfterOpsZeroPeriodBecomesContinuous(t *testing.T) {
+	f := NewFailAfterOps(1, 0)
+	if f.Consume(0) {
+		t.Fatal("should fail on first op")
+	}
+	f.Recharge()
+	for i := 0; i < 100; i++ {
+		if !f.Consume(0) {
+			t.Fatal("period 0 should never fail again")
+		}
+	}
+}
+
+func TestResets(t *testing.T) {
+	p := NewIntermittent(Cap100uF, ConstantHarvester{Watts: 1e-3})
+	for p.Consume(1e5) {
+	}
+	p.Reset()
+	if !p.Consume(p.BufferEnergy() / 2) {
+		t.Error("reset should refill")
+	}
+	f := NewFailAfterOps(2, 5)
+	f.Consume(0)
+	f.Reset()
+	if !f.Consume(0) {
+		t.Error("reset should rearm first window")
+	}
+}
+
+func TestTraceHarvester(t *testing.T) {
+	h, err := NewTraceHarvester([]float64{1e-3, 2e-3, 3e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{h.PowerW(), h.PowerW(), h.PowerW(), h.PowerW()}
+	want := []float64{1e-3, 2e-3, 3e-3, 1e-3} // cycles
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := NewTraceHarvester(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := NewTraceHarvester([]float64{1e-3, 0}); err == nil {
+		t.Error("non-positive sample should error")
+	}
+}
+
+func TestRecorderSawtooth(t *testing.T) {
+	inner := NewIntermittent(Cap100uF, ConstantHarvester{Watts: 1e-3})
+	r := NewRecorder(inner, 10)
+	// Drain through two full charge cycles.
+	for cycles := 0; cycles < 2; {
+		if !r.Consume(100) {
+			r.Recharge()
+			cycles++
+		}
+	}
+	pts := r.Trace()
+	if len(pts) < 10 {
+		t.Fatalf("too few samples: %d", len(pts))
+	}
+	// The trace must be a sawtooth: strictly decreasing runs punctuated by
+	// jumps back to (near) full.
+	full := inner.BufferEnergy()
+	refills, drops := 0, 0
+	for i := 1; i < len(pts); i++ {
+		switch {
+		case pts[i].LevelNJ > pts[i-1].LevelNJ:
+			refills++
+			if math.Abs(pts[i].LevelNJ-full) > 1 {
+				t.Fatalf("refill to %v, want full %v", pts[i].LevelNJ, full)
+			}
+		case pts[i].LevelNJ < pts[i-1].LevelNJ:
+			drops++
+		}
+	}
+	if refills != 2 {
+		t.Errorf("refills = %d, want 2", refills)
+	}
+	if drops < 5 {
+		t.Errorf("expected a draining sawtooth, got %d drops", drops)
+	}
+	if pts[len(pts)-1].DeadSec <= 0 {
+		t.Error("dead time should accumulate in the trace")
+	}
+	r.Reset()
+	if len(r.Trace()) != 0 {
+		t.Error("reset should clear the trace")
+	}
+}
+
+func TestRecorderWithDevice(t *testing.T) {
+	// The recorder satisfies energy.System and can power a device.
+	inner := NewIntermittent(Cap100uF, ConstantHarvester{Watts: 1e-3})
+	var sys System = NewRecorder(inner, 5)
+	if !sys.Consume(1) {
+		t.Fatal("first op should succeed")
+	}
+}

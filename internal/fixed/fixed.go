@@ -1,0 +1,196 @@
+// Package fixed implements saturating 16-bit fixed-point arithmetic in the
+// Q1.15 format used by the TI Low-Energy Accelerator (LEA) and, more
+// generally, by MSP430-class DSP libraries.
+//
+// A Q15 value stores a real number in [-1, 1) as a signed 16-bit integer
+// scaled by 2^15. All operations saturate rather than wrap, matching LEA
+// semantics. Because DNN activations and weights routinely exceed [-1, 1),
+// layers carry a power-of-two scale factor alongside their Q15 payloads; the
+// Scale type captures that convention.
+package fixed
+
+import "math"
+
+// FracBits is the number of fractional bits in the Q1.15 format.
+const FracBits = 15
+
+// One is the largest representable Q15 value, approximately +1.0.
+// (Exactly 1.0 is not representable; this matches hardware behaviour.)
+const One = Q15(math.MaxInt16)
+
+// MinusOne is the smallest representable Q15 value, exactly -1.0.
+const MinusOne = Q15(math.MinInt16)
+
+// Q15 is a signed 16-bit fixed-point number with 15 fractional bits.
+type Q15 int16
+
+// FromFloat converts a float64 to Q15, saturating to [-1, 1-2^-15] and
+// rounding to nearest.
+func FromFloat(f float64) Q15 {
+	scaled := math.Round(f * (1 << FracBits))
+	if scaled > math.MaxInt16 {
+		return One
+	}
+	if scaled < math.MinInt16 {
+		return MinusOne
+	}
+	return Q15(scaled)
+}
+
+// Float returns the real value represented by q.
+func (q Q15) Float() float64 {
+	return float64(q) / (1 << FracBits)
+}
+
+// sat32 clamps a 32-bit intermediate to the Q15 range.
+func sat32(v int32) Q15 {
+	if v > math.MaxInt16 {
+		return One
+	}
+	if v < math.MinInt16 {
+		return MinusOne
+	}
+	return Q15(v)
+}
+
+// Add returns a+b with saturation.
+func Add(a, b Q15) Q15 { return sat32(int32(a) + int32(b)) }
+
+// Sub returns a-b with saturation.
+func Sub(a, b Q15) Q15 { return sat32(int32(a) - int32(b)) }
+
+// Mul returns a*b with saturation and truncation toward zero of the low
+// fractional bits, matching the MSP430 hardware multiplier's fractional mode.
+func Mul(a, b Q15) Q15 {
+	p := int64(a) * int64(b) // at most 30 fractional bits
+	return sat32(int32(p >> FracBits))
+}
+
+// MulRound returns a*b rounded to nearest rather than truncated.
+func MulRound(a, b Q15) Q15 {
+	p := int64(a)*int64(b) + (1 << (FracBits - 1))
+	return sat32(int32(p >> FracBits))
+}
+
+// Neg returns -a with saturation (Neg(MinusOne) == One).
+func Neg(a Q15) Q15 { return sat32(-int32(a)) }
+
+// Acc is a 32-bit multiply-accumulate register in Q17.15 format, mirroring
+// the LEA's extended-precision accumulator. Sums of many Q15 products can be
+// accumulated without intermediate saturation, then saturated once at the
+// end — exactly how vector MAC hardware behaves.
+type Acc int64
+
+// MAC accumulates a*b into the accumulator without intermediate saturation.
+func (acc Acc) MAC(a, b Q15) Acc { return acc + Acc(int64(a)*int64(b)) }
+
+// AddQ accumulates a Q15 value (converted to the accumulator's scale).
+func (acc Acc) AddQ(a Q15) Acc { return acc + Acc(int64(a)<<FracBits) }
+
+// Sat saturates the accumulator back to a Q15 value.
+func (acc Acc) Sat() Q15 {
+	v := int64(acc) >> FracBits
+	if v > math.MaxInt16 {
+		return One
+	}
+	if v < math.MinInt16 {
+		return MinusOne
+	}
+	return Q15(v)
+}
+
+// SatShift arithmetic-right-shifts the accumulator by sh bits before
+// saturating, implementing a power-of-two rescale. Layers use this to map a
+// wide accumulator back into the activation's Q15 range.
+func (acc Acc) SatShift(sh uint) Q15 {
+	v := int64(acc) >> (FracBits + sh)
+	if v > math.MaxInt16 {
+		return One
+	}
+	if v < math.MinInt16 {
+		return MinusOne
+	}
+	return Q15(v)
+}
+
+// SatShiftSigned is SatShift generalized to negative shifts: a negative sh
+// left-shifts (scales up) the accumulator before saturating. Quantized
+// layers use this when the output scale is finer than the product scale.
+func (acc Acc) SatShiftSigned(sh int) Q15 {
+	v := int64(acc)
+	if sh >= 0 {
+		v >>= FracBits + uint(sh)
+	} else {
+		lsh := uint(-sh)
+		// Detect overflow before shifting left.
+		if v > (math.MaxInt16 << FracBits >> lsh) {
+			return One
+		}
+		if v < (math.MinInt16 << FracBits >> lsh) {
+			return MinusOne
+		}
+		v = (v << lsh) >> FracBits
+	}
+	if v > math.MaxInt16 {
+		return One
+	}
+	if v < math.MinInt16 {
+		return MinusOne
+	}
+	return Q15(v)
+}
+
+// Float returns the real value held in the accumulator.
+func (acc Acc) Float() float64 {
+	return float64(acc) / float64(int64(1)<<(2*FracBits))
+}
+
+// Scale is a power-of-two scale factor attached to a Q15 tensor: the real
+// value of element q is q.Float() * 2^Scale. GENESIS picks per-layer scales
+// during quantization so that activations use the Q15 dynamic range well.
+type Scale int8
+
+// Apply returns the real value of q under scale s.
+func (s Scale) Apply(q Q15) float64 {
+	return q.Float() * math.Pow(2, float64(s))
+}
+
+// Quantize converts a real value to Q15 under scale s, saturating.
+func (s Scale) Quantize(f float64) Q15 {
+	return FromFloat(f * math.Pow(2, -float64(s)))
+}
+
+// ScaleFor returns the smallest power-of-two scale that makes maxAbs
+// representable in Q15 without saturation.
+func ScaleFor(maxAbs float64) Scale {
+	s := Scale(0)
+	for maxAbs >= 1.0 && s < 15 {
+		maxAbs /= 2
+		s++
+	}
+	return s
+}
+
+// ReLU returns max(a, 0).
+func ReLU(a Q15) Q15 {
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Q15) Q15 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Abs returns |a| with saturation (Abs(MinusOne) == One).
+func Abs(a Q15) Q15 {
+	if a < 0 {
+		return Neg(a)
+	}
+	return a
+}

@@ -1,0 +1,289 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundtrip(t *testing.T) {
+	cases := []float64{0, 0.5, -0.5, 0.25, -0.999, 0.999, 1.0 / 3.0}
+	for _, f := range cases {
+		q := FromFloat(f)
+		if got := q.Float(); math.Abs(got-f) > 1.0/(1<<FracBits) {
+			t.Errorf("roundtrip %v: got %v, err %v", f, got, math.Abs(got-f))
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(2.0) != One {
+		t.Errorf("FromFloat(2.0) = %v, want One", FromFloat(2.0))
+	}
+	if FromFloat(-2.0) != MinusOne {
+		t.Errorf("FromFloat(-2.0) = %v, want MinusOne", FromFloat(-2.0))
+	}
+	if FromFloat(1.0) != One {
+		t.Errorf("FromFloat(1.0) = %v, want One (1.0 not representable)", FromFloat(1.0))
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if Add(One, One) != One {
+		t.Errorf("One+One should saturate to One")
+	}
+	if Add(MinusOne, MinusOne) != MinusOne {
+		t.Errorf("MinusOne+MinusOne should saturate to MinusOne")
+	}
+	if Sub(MinusOne, One) != MinusOne {
+		t.Errorf("MinusOne-One should saturate")
+	}
+}
+
+func TestMulBasics(t *testing.T) {
+	half := FromFloat(0.5)
+	quarter := Mul(half, half)
+	if math.Abs(quarter.Float()-0.25) > 1e-4 {
+		t.Errorf("0.5*0.5 = %v, want 0.25", quarter.Float())
+	}
+	// MinusOne*MinusOne would be +1.0, which must saturate to One.
+	if Mul(MinusOne, MinusOne) != One {
+		t.Errorf("(-1)*(-1) should saturate to One, got %v", Mul(MinusOne, MinusOne))
+	}
+}
+
+func TestNegSaturates(t *testing.T) {
+	if Neg(MinusOne) != One {
+		t.Errorf("Neg(MinusOne) = %v, want One", Neg(MinusOne))
+	}
+	if Neg(One) != MinusOne+1 {
+		t.Errorf("Neg(One) = %v, want %v", Neg(One), MinusOne+1)
+	}
+}
+
+// Property: Add is commutative and never leaves the representable range.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Q15(a), Q15(b)
+		s1, s2 := Add(x, y), Add(y, x)
+		return s1 == s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul is commutative.
+func TestMulCommutativeProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		return Mul(Q15(a), Q15(b)) == Mul(Q15(b), Q15(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results track real arithmetic within quantization error when the
+// real result is in range.
+func TestAddAccuracyProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Q15(a), Q15(b)
+		real := x.Float() + y.Float()
+		got := Add(x, y).Float()
+		if real > One.Float() {
+			return got == One.Float()
+		}
+		if real < -1.0 {
+			return got == -1.0
+		}
+		return math.Abs(got-real) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAccuracyProperty(t *testing.T) {
+	eps := 1.0 / (1 << FracBits)
+	f := func(a, b int16) bool {
+		x, y := Q15(a), Q15(b)
+		real := x.Float() * y.Float()
+		got := Mul(x, y).Float()
+		if real >= One.Float() {
+			return got == One.Float()
+		}
+		return math.Abs(got-real) <= eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccMAC(t *testing.T) {
+	var acc Acc
+	half := FromFloat(0.5)
+	// 10 * (0.5*0.5) = 2.5; a plain Q15 would saturate, the accumulator must not.
+	for i := 0; i < 10; i++ {
+		acc = acc.MAC(half, half)
+	}
+	if math.Abs(acc.Float()-2.5) > 1e-3 {
+		t.Errorf("acc = %v, want 2.5", acc.Float())
+	}
+	if acc.Sat() != One {
+		t.Errorf("Sat of 2.5 should saturate to One")
+	}
+	// Shifting by 2 rescales 2.5 -> 0.625, which fits.
+	if got := acc.SatShift(2).Float(); math.Abs(got-0.625) > 1e-3 {
+		t.Errorf("SatShift(2) = %v, want 0.625", got)
+	}
+}
+
+func TestAccAddQ(t *testing.T) {
+	var acc Acc
+	acc = acc.AddQ(FromFloat(0.25))
+	acc = acc.AddQ(FromFloat(0.25))
+	if math.Abs(acc.Float()-0.5) > 1e-4 {
+		t.Errorf("AddQ sum = %v, want 0.5", acc.Float())
+	}
+}
+
+// Property: accumulator MAC equals exact integer arithmetic (no drift).
+func TestAccExactProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		var acc Acc
+		var exact int64
+		for _, v := range vals {
+			acc = acc.MAC(Q15(v), Q15(v))
+			exact += int64(v) * int64(v)
+		}
+		return int64(acc) == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := ScaleFor(5.3) // needs 2^3 = 8 >= 5.3
+	if s != 3 {
+		t.Fatalf("ScaleFor(5.3) = %d, want 3", s)
+	}
+	q := s.Quantize(5.3)
+	if got := s.Apply(q); math.Abs(got-5.3) > 8.0/(1<<FracBits) {
+		t.Errorf("scale roundtrip of 5.3 = %v", got)
+	}
+}
+
+func TestScaleForBounds(t *testing.T) {
+	if ScaleFor(0.5) != 0 {
+		t.Errorf("ScaleFor(0.5) = %d, want 0", ScaleFor(0.5))
+	}
+	if ScaleFor(1e9) != 15 {
+		t.Errorf("ScaleFor(1e9) should clamp to 15")
+	}
+}
+
+func TestReLUMaxAbs(t *testing.T) {
+	if ReLU(FromFloat(-0.3)) != 0 {
+		t.Error("ReLU of negative should be 0")
+	}
+	if v := FromFloat(0.3); ReLU(v) != v {
+		t.Error("ReLU of positive should be identity")
+	}
+	if Max(FromFloat(0.1), FromFloat(0.2)) != FromFloat(0.2) {
+		t.Error("Max wrong")
+	}
+	if Abs(MinusOne) != One {
+		t.Error("Abs(MinusOne) should saturate to One")
+	}
+	if Abs(FromFloat(-0.25)) != FromFloat(0.25) {
+		t.Error("Abs(-0.25) wrong")
+	}
+}
+
+// Property: saturation ordering — Add never exceeds bounds.
+func TestSaturationBoundsProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		v := Add(Q15(a), Q15(b))
+		return v >= MinusOne && v <= One
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := FromFloat(0.37), FromFloat(-0.81)
+	var sink Q15
+	for i := 0; i < b.N; i++ {
+		sink = Mul(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAccMAC(b *testing.B) {
+	x, y := FromFloat(0.37), FromFloat(-0.81)
+	var acc Acc
+	for i := 0; i < b.N; i++ {
+		acc = acc.MAC(x, y)
+	}
+	_ = acc
+}
+
+func TestMulRound(t *testing.T) {
+	// Rounding differs from truncation for odd low bits.
+	a, b := Q15(3), Q15(16384) // 3 * 0.5 = 1.5 -> trunc 1, round 2
+	if Mul(a, b) != 1 {
+		t.Errorf("Mul trunc = %d, want 1", Mul(a, b))
+	}
+	if MulRound(a, b) != 2 {
+		t.Errorf("MulRound = %d, want 2", MulRound(a, b))
+	}
+}
+
+func TestSatShiftSigned(t *testing.T) {
+	var acc Acc
+	acc = acc.MAC(FromFloat(0.5), FromFloat(0.5)) // 0.25
+	// Positive shift divides.
+	if got := acc.SatShiftSigned(1).Float(); math.Abs(got-0.125) > 1e-3 {
+		t.Errorf("shift +1 = %v, want 0.125", got)
+	}
+	// Negative shift multiplies.
+	if got := acc.SatShiftSigned(-1).Float(); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("shift -1 = %v, want 0.5", got)
+	}
+	// Negative shift saturates on overflow.
+	if got := acc.SatShiftSigned(-4); got != One {
+		t.Errorf("0.25 << 4 should saturate to One, got %v", got)
+	}
+	var neg Acc
+	neg = neg.MAC(FromFloat(-0.5), FromFloat(0.5))
+	if got := neg.SatShiftSigned(-4); got != MinusOne {
+		t.Errorf("-0.25 << 4 should saturate to MinusOne, got %v", got)
+	}
+	// Zero shift equals Sat.
+	if acc.SatShiftSigned(0) != acc.Sat() {
+		t.Error("shift 0 should equal Sat")
+	}
+}
+
+// Property: SatShiftSigned(+k) matches the real value within quantization.
+func TestSatShiftSignedProperty(t *testing.T) {
+	f := func(a, b int16, kRaw uint8) bool {
+		k := int(kRaw%8) - 3 // shifts in [-3, 4]
+		var acc Acc
+		acc = acc.MAC(Q15(a), Q15(b))
+		real := acc.Float() * math.Pow(2, -float64(k))
+		got := acc.SatShiftSigned(k).Float()
+		if real >= One.Float() {
+			return got == One.Float()
+		}
+		if real <= -1.0 {
+			return got == -1.0
+		}
+		return math.Abs(got-real) <= 1.0/(1<<FracBits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package genesis
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+// smallOptions keeps the sweep cheap for unit tests.
+func smallOptions(network string) Options {
+	o := DefaultOptions(network)
+	o.TrainSamples = 360
+	o.TestSamples = 90
+	o.Epochs = 2
+	o.FineTuneEpochs = 1
+	o.MaxSamplesPerEpoch = 240
+	o.PruneLevels = []float64{0.8}
+	o.RankFracs = []float64{0.5}
+	return o
+}
+
+func TestConfigsEnumeration(t *testing.T) {
+	o := DefaultOptions("har")
+	cfgs := o.Configs()
+	// 1 none + 4 prune + 3 separate + 12 both
+	if len(cfgs) != 20 {
+		t.Fatalf("config count = %d, want 20", len(cfgs))
+	}
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		if names[c.Name()] {
+			t.Errorf("duplicate config name %q", c.Name())
+		}
+		names[c.Name()] = true
+	}
+}
+
+func TestApplyReducesCost(t *testing.T) {
+	base := dnn.HARNet(1)
+	baseMACs, baseParams := base.MACs(), base.ParamCount()
+	for _, c := range []Config{
+		{Technique: TechPrune, PruneLevel: 0.8, RankFrac: 1},
+		{Technique: TechSeparate, RankFrac: 0.4},
+		{Technique: TechBoth, PruneLevel: 0.8, RankFrac: 0.4},
+	} {
+		n := base.Clone()
+		if err := Apply(n, c); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if n.MACs() >= baseMACs {
+			t.Errorf("%s: MACs %d not reduced from %d", c.Name(), n.MACs(), baseMACs)
+		}
+		if n.ParamCount() >= baseParams {
+			t.Errorf("%s: params %d not reduced from %d", c.Name(), n.ParamCount(), baseParams)
+		}
+	}
+}
+
+func TestApplyNoneIsIdentity(t *testing.T) {
+	base := dnn.HARNet(1)
+	n := base.Clone()
+	if err := Apply(n, Config{Technique: TechNone, RankFrac: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n.MACs() != base.MACs() || n.ParamCount() != base.ParamCount() {
+		t.Error("none config should not change the network")
+	}
+}
+
+func TestRunHARSweep(t *testing.T) {
+	rep, err := Run(smallOptions("har"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 { // none + prune + sep + both
+		t.Fatalf("results = %d, want 4", len(rep.Results))
+	}
+	// The uncompressed network must be infeasible under the budget (the
+	// premise of Fig. 4's "original, uncompressed" marker).
+	if rep.Results[0].Config.Technique != TechNone {
+		t.Fatal("first result should be uncompressed")
+	}
+	if rep.Results[0].Feasible {
+		t.Errorf("uncompressed (%dB) should exceed the %dB budget",
+			rep.Results[0].ParamBytes, rep.Options.FRAMBudgetBytes)
+	}
+	// At least one compressed configuration must be feasible and chosen.
+	if rep.Chosen < 0 {
+		t.Fatal("no feasible configuration chosen")
+	}
+	chosen := rep.ChosenResult()
+	if chosen.Config.Technique == TechNone {
+		t.Error("chosen config should be compressed")
+	}
+	if chosen.IMpJ <= 0 {
+		t.Error("chosen IMpJ should be positive")
+	}
+	if chosen.EInferJ <= 0 {
+		t.Error("EInfer should be measured")
+	}
+	if chosen.Accuracy < 0.5 {
+		t.Errorf("chosen accuracy %v too low", chosen.Accuracy)
+	}
+	// Compression must actually shrink the deployed image.
+	if chosen.ParamBytes >= rep.Results[0].ParamBytes {
+		t.Errorf("chosen %dB should be smaller than uncompressed %dB",
+			chosen.ParamBytes, rep.Results[0].ParamBytes)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	results := []Result{
+		{MACs: 100, Accuracy: 0.9},
+		{MACs: 50, Accuracy: 0.8},
+		{MACs: 60, Accuracy: 0.7},   // dominated by 1
+		{MACs: 120, Accuracy: 0.85}, // dominated by 0
+		{MACs: 20, Accuracy: 0.5},
+	}
+	front := ParetoFront(results, []int{0, 1, 2, 3, 4})
+	want := []int{4, 1, 0}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front = %v, want %v", front, want)
+		}
+	}
+}
+
+func TestByTechnique(t *testing.T) {
+	results := []Result{
+		{Config: Config{Technique: TechNone}},
+		{Config: Config{Technique: TechPrune}},
+		{Config: Config{Technique: TechSeparate}},
+		{Config: Config{Technique: TechBoth}},
+	}
+	pruneOnly := ByTechnique(results, TechPrune)
+	if len(pruneOnly) != 2 { // none + prune
+		t.Errorf("prune-only = %v", pruneOnly)
+	}
+	all := ByTechnique(results, TechPrune, TechSeparate, TechBoth)
+	if len(all) != 4 {
+		t.Errorf("all = %v", all)
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	if (Config{Technique: TechNone}).Name() != "uncompressed" {
+		t.Error("none name")
+	}
+	if (Config{Technique: TechPrune, PruneLevel: 0.9}).Name() != "prune-0.90" {
+		t.Error("prune name")
+	}
+}
+
+func TestRunPerLayerRefinement(t *testing.T) {
+	o := smallOptions("har")
+	rep, refined, err := RunPerLayer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined == nil {
+		t.Fatal("no refined result")
+	}
+	grid := rep.ChosenResult()
+	// The refinement may only keep or improve the grid's IMpJ, and must
+	// remain feasible.
+	if refined.IMpJ < grid.IMpJ-1e-12 {
+		t.Errorf("refined IMpJ %v worse than grid %v", refined.IMpJ, grid.IMpJ)
+	}
+	if !refined.Feasible {
+		t.Error("refined result must be feasible")
+	}
+	if refined.Model == nil {
+		t.Error("refined result must carry a deployable model")
+	}
+	t.Logf("grid %s IMpJ %.3f -> refined IMpJ %.3f after %d moves %v",
+		grid.Config.Name(), grid.IMpJ, refined.IMpJ, len(refined.Moves), refined.Moves)
+}
+
+func TestMovesForLayerRespectsGuards(t *testing.T) {
+	n := dnn.HARNet(1)
+	// Classifier layer (last dense) must have no moves.
+	if mv := movesForLayer(n, lastDenseIndex(n)); mv != nil {
+		t.Errorf("classifier layer should have no moves, got %v", mv)
+	}
+	// The big dense layer gets both prune and separate.
+	if mv := movesForLayer(n, 3); len(mv) != 2 {
+		t.Errorf("dense layer moves = %v", mv)
+	}
+	// Conv gets prune and (while dense) separate.
+	if mv := movesForLayer(n, 0); len(mv) != 2 {
+		t.Errorf("conv moves = %v", mv)
+	}
+	// After pruning, the conv loses its separation move.
+	n.Layers[0].(*dnn.Conv).Prune(0.05)
+	if mv := movesForLayer(n, 0); len(mv) != 1 || mv[0].Technique != TechPrune {
+		t.Errorf("pruned conv moves = %v", mv)
+	}
+}

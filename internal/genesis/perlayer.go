@@ -1,0 +1,202 @@
+package genesis
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+)
+
+// This file implements the per-layer refinement of GENESIS's search.
+// The grid sweep in genesis.go applies one global (prune level, rank
+// fraction) pair; the paper's GENESIS "sweeps parameters for both
+// separation and pruning across each layer of the network". RunPerLayer
+// starts from the grid's best configuration and greedily applies the
+// single per-layer move (prune one layer harder, or separate one layer)
+// that most improves IMpJ, re-fine-tuning after each accepted move, until
+// no move improves.
+
+// Move is one per-layer compression action considered by the greedy pass.
+type Move struct {
+	Layer     int
+	Technique Technique
+	Level     float64 // prune level or rank fraction
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("%s@layer%d(%.2f)", m.Technique, m.Layer, m.Level)
+}
+
+// PerLayerResult extends a Result with the move sequence that produced it.
+type PerLayerResult struct {
+	Result
+	Moves []Move
+}
+
+// RunPerLayer runs the grid sweep, then greedily refines the chosen
+// configuration with per-layer moves. It returns the grid report and the
+// refined result (which equals the grid's choice when no move helps).
+func RunPerLayer(opts Options) (*Report, *PerLayerResult, error) {
+	rep, err := Run(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	chosen := rep.ChosenResult()
+	if chosen == nil {
+		return rep, nil, fmt.Errorf("genesis: no feasible grid configuration to refine")
+	}
+
+	ds, err := dnn.DatasetFor(opts.Network, opts.Seed, opts.TrainSamples, opts.TestSamples)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := dnn.NetworkFor(opts.Network, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = opts.Epochs
+	cfg.Seed = opts.Seed
+	cfg.MaxSamplesPerEpoch = opts.MaxSamplesPerEpoch
+	dnn.Train(base, ds, cfg)
+
+	// Reconstruct the chosen starting point.
+	current := base.Clone()
+	if err := Apply(current, chosen.Config); err != nil {
+		return nil, nil, err
+	}
+	fineTune(current, ds, opts)
+	best := scoreNetwork(current, ds, opts)
+	best.Config = chosen.Config
+	refined := &PerLayerResult{Result: best}
+
+	for round := 0; round < maxGreedyRounds; round++ {
+		move, cand := bestMove(current, ds, opts, best.IMpJ)
+		if cand == nil {
+			break
+		}
+		current = cand
+		best = scoreNetwork(current, ds, opts)
+		best.Config = chosen.Config
+		refined.Result = best
+		refined.Moves = append(refined.Moves, move)
+	}
+	return rep, refined, nil
+}
+
+// maxGreedyRounds bounds the refinement (each round fine-tunes and
+// evaluates every candidate move).
+const maxGreedyRounds = 3
+
+// perLayerPruneStep is how much additional drop fraction a prune move
+// applies to one layer.
+const perLayerPruneStep = 0.5
+
+// perLayerRankFrac is the rank fraction a separation move applies.
+const perLayerRankFrac = 0.5
+
+// bestMove tries every legal per-layer move and returns the one with the
+// highest feasible IMpJ above the current best, or nil.
+func bestMove(current *dnn.Network, ds *dataset.Dataset, opts Options, baseIMpJ float64) (Move, *dnn.Network) {
+	var bestM Move
+	var bestN *dnn.Network
+	bestScore := baseIMpJ
+	for li := 0; li < len(current.Layers); li++ {
+		for _, mv := range movesForLayer(current, li) {
+			cand := current.Clone()
+			if err := applyMove(cand, mv); err != nil {
+				continue
+			}
+			if _, err := cand.Validate(); err != nil {
+				continue
+			}
+			fineTune(cand, ds, opts)
+			res := scoreNetwork(cand, ds, opts)
+			if res.Feasible && res.IMpJ > bestScore {
+				bestScore = res.IMpJ
+				bestM = mv
+				bestN = cand
+			}
+		}
+	}
+	return bestM, bestN
+}
+
+// movesForLayer enumerates the legal moves on one layer.
+func movesForLayer(n *dnn.Network, li int) []Move {
+	switch l := n.Layers[li].(type) {
+	case *dnn.Conv:
+		if l.W.Len() < 100 {
+			return nil
+		}
+		moves := []Move{{Layer: li, Technique: TechPrune, Level: perLayerPruneStep}}
+		if l.Mask == nil { // separation only before pruning
+			moves = append(moves, Move{Layer: li, Technique: TechSeparate, Level: perLayerRankFrac})
+		}
+		return moves
+	case *dnn.Dense:
+		if l.Out*l.In < 1024 || li == lastDenseIndex(n) {
+			return nil
+		}
+		return []Move{
+			{Layer: li, Technique: TechPrune, Level: perLayerPruneStep},
+			{Layer: li, Technique: TechSeparate, Level: perLayerRankFrac},
+		}
+	case *dnn.SparseDense:
+		return nil // already sparse; further moves not supported
+	}
+	return nil
+}
+
+func lastDenseIndex(n *dnn.Network) int {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if n.Layers[i].Kind() == "dense" {
+			return i
+		}
+	}
+	return -1
+}
+
+func applyMove(n *dnn.Network, mv Move) error {
+	switch l := n.Layers[mv.Layer].(type) {
+	case *dnn.Conv:
+		if mv.Technique == TechPrune {
+			_, err := compress.PruneConv(n, mv.Layer, mv.Level)
+			return err
+		}
+		if l.C == 1 {
+			full := minInt(l.C*l.KH, l.F*l.KW)
+			return compress.SeparateConvSpatial(n, mv.Layer, scaleRank(full, mv.Level))
+		}
+		return compress.SeparateConvTucker2(n, mv.Layer,
+			scaleRank(l.F, mv.Level), scaleRank(l.C, mv.Level))
+	case *dnn.Dense:
+		if mv.Technique == TechPrune {
+			_, err := compress.SparsifyDense(n, mv.Layer, mv.Level)
+			return err
+		}
+		full := minInt(l.Out, l.In)
+		return compress.SeparateDense(n, mv.Layer, scaleRank(full, mv.Level))
+	}
+	return fmt.Errorf("genesis: no move for layer %d", mv.Layer)
+}
+
+// fineTune runs the sweep's standard fine-tuning pass.
+func fineTune(n *dnn.Network, ds *dataset.Dataset, opts Options) {
+	if opts.FineTuneEpochs <= 0 {
+		return
+	}
+	ft := dnn.DefaultTrainConfig()
+	ft.Epochs = opts.FineTuneEpochs
+	ft.LR = 0.001
+	ft.Seed = opts.Seed + 77
+	ft.MaxSamplesPerEpoch = opts.MaxSamplesPerEpoch
+	dnn.Train(n, ds, ft)
+}
+
+// scoreNetwork quantizes, measures, and scores a network exactly like the
+// grid sweep does.
+func scoreNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options) Result {
+	return evaluateNetwork(n, ds, opts)
+}

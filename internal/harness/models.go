@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dnn"
+	"repro/internal/genesis"
+)
+
+// Prepared bundles everything the evaluation needs about one network: the
+// GENESIS sweep report, the chosen deployable model, and a test input.
+type Prepared struct {
+	Net    string
+	Report *genesis.Report
+	Model  *dnn.QuantModel
+	Input  []float64 // one representative test sample
+	Label  int
+}
+
+// Networks lists the three evaluation networks in paper order.
+func Networks() []string { return []string{"mnist", "har", "okg"} }
+
+// PrepareOptions sizes the GENESIS runs behind the evaluation.
+type PrepareOptions struct {
+	Seed     uint64
+	Quick    bool   // small training budgets for tests
+	CacheDir string // if set, chosen models are cached as gob files
+}
+
+// genesisOptions builds the sweep options for a network.
+func genesisOptions(net string, po PrepareOptions) genesis.Options {
+	o := genesis.DefaultOptions(net)
+	o.Seed = po.Seed
+	if po.Quick {
+		o.TrainSamples, o.TestSamples = 360, 90
+		o.Epochs, o.FineTuneEpochs = 2, 1
+		o.MaxSamplesPerEpoch = 240
+		o.PruneLevels = []float64{0.75, 0.9}
+		o.RankFracs = []float64{0.5}
+	}
+	return o
+}
+
+// Prepare runs GENESIS for one network (or loads the cached result) and
+// returns the chosen deployable model.
+func Prepare(net string, po PrepareOptions) (*Prepared, error) {
+	opts := genesisOptions(net, po)
+	rep, err := genesis.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	chosen := rep.ChosenResult()
+	if chosen == nil || chosen.Model == nil {
+		return nil, fmt.Errorf("harness: GENESIS found no feasible configuration for %s", net)
+	}
+	ds, err := dnn.DatasetFor(net, opts.Seed, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Net: net, Report: rep, Model: chosen.Model,
+		Input: ds.Test[0].X, Label: ds.Test[0].Label}
+	if po.CacheDir != "" {
+		_ = chosen.Model.SaveFile(cachePath(po.CacheDir, net))
+	}
+	return p, nil
+}
+
+// PrepareAll prepares every evaluation network.
+func PrepareAll(po PrepareOptions) ([]*Prepared, error) {
+	var out []*Prepared
+	for _, net := range Networks() {
+		p, err := Prepare(net, po)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func cachePath(dir, net string) string {
+	return filepath.Join(dir, net+".qmodel")
+}
+
+// LoadCached loads a previously prepared model (without the sweep report).
+func LoadCached(dir, net string, seed uint64) (*Prepared, error) {
+	qm, err := dnn.LoadQuantFile(cachePath(dir, net))
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dnn.DatasetFor(net, seed, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Net: net, Model: qm, Input: ds.Test[0].X, Label: ds.Test[0].Label}, nil
+}
+
+// CacheExists reports whether a cached model is present.
+func CacheExists(dir, net string) bool {
+	_, err := os.Stat(cachePath(dir, net))
+	return err == nil
+}

@@ -1,0 +1,266 @@
+package mcu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/mem"
+)
+
+// powerFailure is the panic sentinel raised when the energy buffer empties.
+// It never escapes the package: Attempt recovers it.
+type powerFailure struct{}
+
+// ErrDoesNotComplete is returned when a program makes no progress across
+// maxRebootsWithoutProgress consecutive charge cycles — the non-termination
+// condition of §2.1 (e.g., a task that needs more energy than the device
+// can buffer).
+var ErrDoesNotComplete = errors.New("mcu: does not complete (no progress across charge cycles)")
+
+// maxRebootsWithoutProgress is how many full charge cycles a program may
+// burn with no committed progress before the run is declared
+// non-terminating.
+const maxRebootsWithoutProgress = 4
+
+// Phase labels execution for the kernel/control breakdown of Fig. 10.
+type Phase string
+
+// Execution phases.
+const (
+	PhaseKernel     Phase = "kernel"
+	PhaseControl    Phase = "control"
+	PhaseTransition Phase = "transition"
+)
+
+// Section attributes operations to a layer and phase for the per-layer
+// breakdowns in Figs. 9, 10, and 12.
+type Section struct {
+	Layer string
+	Phase Phase
+}
+
+// SectionStats accumulates costs within one section.
+type SectionStats struct {
+	Cycles   int64
+	EnergyNJ float64
+	OpCount  [NumOps]int64
+	OpEnergy [NumOps]float64
+}
+
+// Stats is the device's full accounting.
+type Stats struct {
+	LiveCycles  int64
+	DeadSeconds float64
+	Reboots     int
+	EnergyNJ    float64
+	OpCount     [NumOps]int64
+	OpEnergy    [NumOps]float64
+	Sections    map[Section]*SectionStats
+}
+
+// LiveSeconds converts live cycles to seconds at the given clock.
+func (s *Stats) LiveSeconds(clockHz float64) float64 {
+	return float64(s.LiveCycles) / clockHz
+}
+
+// TotalSeconds is live plus dead time.
+func (s *Stats) TotalSeconds(clockHz float64) float64 {
+	return s.LiveSeconds(clockHz) + s.DeadSeconds
+}
+
+// EnergyMJ returns total consumed energy in millijoules.
+func (s *Stats) EnergyMJ() float64 { return s.EnergyNJ * 1e-6 }
+
+// Device is the simulated MCU.
+type Device struct {
+	FRAM  *mem.Memory
+	SRAM  *mem.Memory
+	Power energy.System
+	Cost  CostModel
+
+	// JITIndexCheckpoint enables the future-architecture feature of §10:
+	// a small hardware cache holds hot index variables and flushes them to
+	// FRAM just in time at brown-out (using residual decoupling charge),
+	// so per-iteration progress stores cost an SRAM write instead of a
+	// FRAM write. The paper estimates this alone saves ~14% of SONIC's
+	// system energy. StoreIndex honours the flag.
+	JITIndexCheckpoint bool
+
+	stats    Stats
+	section  Section
+	secStats *SectionStats
+
+	rebootsSinceProgress int
+	inAttempt            bool
+}
+
+// New returns a device with the standard MSP430FR5994 memory sizes.
+func New(power energy.System) *Device {
+	return NewWithMem(power, mem.New(mem.FRAM, mem.DefaultFRAMBytes), mem.New(mem.SRAM, mem.DefaultSRAMBytes))
+}
+
+// NewWithMem returns a device over caller-provided memories.
+func NewWithMem(power energy.System, fram, sram *mem.Memory) *Device {
+	d := &Device{FRAM: fram, SRAM: sram, Power: power, Cost: DefaultCostModel()}
+	d.stats.Sections = make(map[Section]*SectionStats)
+	d.SetSection("boot", PhaseControl)
+	return d
+}
+
+// Stats returns the accumulated statistics.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// ResetStats clears accounting without touching memory or power.
+func (d *Device) ResetStats() {
+	d.stats = Stats{Sections: make(map[Section]*SectionStats)}
+	d.SetSection("boot", PhaseControl)
+}
+
+// SetSection changes the attribution label for subsequent operations.
+func (d *Device) SetSection(layer string, phase Phase) {
+	sec := Section{Layer: layer, Phase: phase}
+	if sec == d.section && d.secStats != nil {
+		return
+	}
+	d.section = sec
+	ss, ok := d.stats.Sections[sec]
+	if !ok {
+		ss = &SectionStats{}
+		d.stats.Sections[sec] = ss
+	}
+	d.secStats = ss
+}
+
+// Section returns the current attribution label.
+func (d *Device) Section() (string, Phase) { return d.section.Layer, d.section.Phase }
+
+// Op charges one operation of kind k. If the energy buffer empties, the
+// operation does not take effect and the device browns out (panics with the
+// power-failure sentinel, recovered by Attempt).
+func (d *Device) Op(k OpKind) {
+	c := &d.Cost.Costs[k]
+	if !d.Power.Consume(c.EnergyNJ) {
+		panic(powerFailure{})
+	}
+	d.stats.LiveCycles += int64(c.Cycles)
+	d.stats.EnergyNJ += c.EnergyNJ
+	d.stats.OpCount[k]++
+	d.stats.OpEnergy[k] += c.EnergyNJ
+	d.secStats.Cycles += int64(c.Cycles)
+	d.secStats.EnergyNJ += c.EnergyNJ
+	d.secStats.OpCount[k]++
+	d.secStats.OpEnergy[k] += c.EnergyNJ
+}
+
+// Ops charges n operations of kind k one at a time, so a power failure can
+// land at any element boundary.
+func (d *Device) Ops(k OpKind, n int) {
+	for i := 0; i < n; i++ {
+		d.Op(k)
+	}
+}
+
+// loadOp returns the load op kind for a region's memory.
+func loadOp(r *mem.Region) OpKind {
+	if r.Kind() == mem.FRAM {
+		return OpLoadFRAM
+	}
+	return OpLoadSRAM
+}
+
+// storeOp returns the store op kind for a region's memory.
+func storeOp(r *mem.Region) OpKind {
+	if r.Kind() == mem.FRAM {
+		return OpStoreFRAM
+	}
+	return OpStoreSRAM
+}
+
+// Load reads region word i, charging the memory's access cost.
+func (d *Device) Load(r *mem.Region, i int) int64 {
+	d.Op(loadOp(r))
+	return r.Get(i)
+}
+
+// Store writes region word i, charging the memory's access cost. The write
+// does not occur if power fails on this operation.
+func (d *Device) Store(r *mem.Region, i int, v int64) {
+	d.Op(storeOp(r))
+	r.Put(i, v)
+}
+
+// StoreIndex writes a loop-index/progress word. With JITIndexCheckpoint
+// disabled (the default, matching real MSP430 hardware) it is an ordinary
+// store at the region's cost; with the §10 architecture enabled it charges
+// only an SRAM store, and the value still persists across power failures
+// because the hardware flushes the index cache at brown-out.
+func (d *Device) StoreIndex(r *mem.Region, i int, v int64) {
+	if d.JITIndexCheckpoint {
+		d.Op(OpStoreSRAM)
+		r.Put(i, v)
+		return
+	}
+	d.Store(r, i, v)
+}
+
+// Progress records that the running program committed durable work. The
+// non-termination detector resets; programs that fail to call this across
+// several whole charge cycles are declared non-terminating.
+func (d *Device) Progress() { d.rebootsSinceProgress = 0 }
+
+// Attempt runs f, converting a brown-out into a normal return.
+// It returns true if f ran to completion, false if power failed.
+func (d *Device) Attempt(f func()) (completed bool) {
+	if d.inAttempt {
+		panic("mcu: nested Attempt")
+	}
+	d.inAttempt = true
+	defer func() {
+		d.inAttempt = false
+		if r := recover(); r != nil {
+			if _, ok := r.(powerFailure); !ok {
+				panic(r)
+			}
+			completed = false
+		}
+	}()
+	f()
+	return true
+}
+
+// Reboot models the post-failure power cycle: SRAM clears, the capacitor
+// recharges (adding dead time), and the reboot counters advance. It returns
+// ErrDoesNotComplete when the program has burned too many whole charge
+// cycles without progress.
+func (d *Device) Reboot() error {
+	d.SRAM.ClearVolatile()
+	d.stats.Reboots++
+	d.stats.DeadSeconds += d.Power.Recharge()
+	d.rebootsSinceProgress++
+	if d.rebootsSinceProgress > maxRebootsWithoutProgress {
+		return ErrDoesNotComplete
+	}
+	return nil
+}
+
+// Run drives f to completion under intermittent power: attempt, reboot on
+// failure, retry. f is re-invoked from its start after each failure — it
+// must locate its restart point in FRAM, exactly as intermittent programs
+// do. Run returns ErrDoesNotComplete if f stops making progress.
+func (d *Device) Run(f func()) error {
+	for {
+		if d.Attempt(f) {
+			return nil
+		}
+		if err := d.Reboot(); err != nil {
+			return err
+		}
+	}
+}
+
+// String describes the device configuration.
+func (d *Device) String() string {
+	return fmt.Sprintf("mcu(FRAM %dKB, SRAM %dKB, clock %.0fMHz)",
+		d.FRAM.Capacity()/1024, d.SRAM.Capacity()/1024, d.Cost.ClockHz/1e6)
+}

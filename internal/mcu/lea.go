@@ -1,0 +1,114 @@
+package mcu
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/mem"
+)
+
+// This file models the TI Low-Energy Accelerator (LEA) and the DMA engine.
+// LEA's defining constraints (§7, §10) are modelled explicitly:
+//
+//   - LEA reads and writes only the 4 KB SRAM bank, never FRAM, so all
+//     operands must be DMA'd in and results DMA'd out;
+//   - it supports vector MAC and one-dimensional FIR discrete-time
+//     convolution on Q15 fixed point;
+//   - it has no vector left-shift and no scalar multiply, so rescaling
+//     passes happen in software (TAILS charges them as control ops);
+//   - each invocation has a fixed cost that must be amortized over the
+//     vector length.
+
+// DMA copies n words from src[srcOff:] to dst[dstOff:], charging a setup
+// cost plus one DMA-word cost per element. The copy proceeds word by word:
+// a power failure mid-transfer leaves a partial destination, exactly the
+// hazard loop-ordered buffering exists to tolerate.
+func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int) {
+	d.Op(OpDMASetup)
+	for i := 0; i < n; i++ {
+		d.Op(OpDMAWord)
+		dst.Put(dstOff+i, src.Get(srcOff+i))
+	}
+}
+
+// checkLEAOperand panics if a LEA operand is not in SRAM — on real hardware
+// this is a wiring impossibility, so it is a programming bug here.
+func checkLEAOperand(name string, r *mem.Region) {
+	if r.Kind() != mem.SRAM {
+		panic(fmt.Sprintf("mcu: LEA operand %s must reside in SRAM, got %s", name, r.Kind()))
+	}
+}
+
+// checkLEAFootprint panics if the combined operand size exceeds the LEA
+// SRAM bank.
+func checkLEAFootprint(words int) {
+	if words*2 > mem.LEABufferBytes {
+		panic(fmt.Sprintf("mcu: LEA working set %d words exceeds %dB bank", words, mem.LEABufferBytes))
+	}
+}
+
+// LEAMacV computes the Q15 dot product of x[xOff:xOff+n] and y[yOff:yOff+n]
+// into a 32-bit accumulator (LEA's MAC instruction). Operands must be in
+// SRAM. Charges one invocation plus one element cost per MAC.
+func (d *Device) LEAMacV(x *mem.Region, xOff int, y *mem.Region, yOff, n int) fixed.Acc {
+	checkLEAOperand("x", x)
+	checkLEAOperand("y", y)
+	checkLEAFootprint(2 * n)
+	d.Op(OpLEAInvoke)
+	var acc fixed.Acc
+	for i := 0; i < n; i++ {
+		d.Op(OpLEAElem)
+		acc = acc.MAC(fixed.Q15(x.Get(xOff+i)), fixed.Q15(y.Get(yOff+i)))
+	}
+	return acc
+}
+
+// LEAFIR computes a 1-D FIR discrete-time convolution:
+//
+//	out[i] = sat( Σ_k coef[k] * in[i+k] >> 15 ),  i in [0, outN)
+//
+// requiring in to hold outN+coefN-1 valid samples. All three regions must
+// be in SRAM. Outputs accumulate LEA's 32-bit precision internally and
+// saturate to Q15 on writeback (LEA's fixed output format — any further
+// rescaling is the software's problem, as on real hardware).
+func (d *Device) LEAFIR(out *mem.Region, outOff int, in *mem.Region, inOff int,
+	coef *mem.Region, coefOff, coefN, outN int) {
+	checkLEAOperand("out", out)
+	checkLEAOperand("in", in)
+	checkLEAOperand("coef", coef)
+	checkLEAFootprint(outN + coefN + outN + coefN - 1)
+	d.Op(OpLEAInvoke)
+	for i := 0; i < outN; i++ {
+		var acc fixed.Acc
+		for k := 0; k < coefN; k++ {
+			d.Op(OpLEAElem)
+			acc = acc.MAC(fixed.Q15(coef.Get(coefOff+k)), fixed.Q15(in.Get(inOff+i+k)))
+		}
+		out.Put(outOff+i, int64(acc.Sat()))
+	}
+}
+
+// LEAAddV computes elementwise saturating addition dst[i] = sat(a[i]+b[i])
+// over n Q15 elements (LEA's vector add), used by TAILS to accumulate
+// partial convolution results.
+func (d *Device) LEAAddV(dst *mem.Region, dstOff int, a *mem.Region, aOff int,
+	b *mem.Region, bOff, n int) {
+	checkLEAOperand("dst", dst)
+	checkLEAOperand("a", a)
+	checkLEAOperand("b", b)
+	checkLEAFootprint(3 * n)
+	d.Op(OpLEAInvoke)
+	for i := 0; i < n; i++ {
+		d.Op(OpLEAElem)
+		s := fixed.Add(fixed.Q15(a.Get(aOff+i)), fixed.Q15(b.Get(bOff+i)))
+		dst.Put(dstOff+i, int64(s))
+	}
+}
+
+// MaxLEATileWords returns the largest vector length (in words) whose
+// working set of nBuffers equal-sized buffers fits the LEA bank. TAILS's
+// calibration starts from this hardware bound and shrinks further until a
+// tile completes within the energy buffer.
+func MaxLEATileWords(nBuffers int) int {
+	return mem.LEABufferBytes / 2 / nBuffers
+}

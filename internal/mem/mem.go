@@ -1,0 +1,147 @@
+// Package mem models the MSP430FR5994's two embedded memories: a small
+// volatile SRAM and a larger non-volatile FRAM. Each memory has a byte
+// capacity enforced at allocation time (GENESIS's feasibility check is
+// "do the weights fit in FRAM?"), and hands out word-addressed regions.
+//
+// A power failure clears SRAM but leaves FRAM intact; the device model in
+// package mcu calls ClearVolatile on reboot. Access energy is charged by
+// the device, not here — this package is pure storage.
+package mem
+
+import "fmt"
+
+// Kind distinguishes the two memory technologies.
+type Kind uint8
+
+// Memory kinds.
+const (
+	FRAM Kind = iota // non-volatile, slower, higher access energy
+	SRAM             // volatile, fast
+)
+
+func (k Kind) String() string {
+	if k == FRAM {
+		return "FRAM"
+	}
+	return "SRAM"
+}
+
+// Default capacities of the TI MSP430FR5994 (256 KB FRAM, 8 KB SRAM, of
+// which 4 KB is the LEA-shared bank).
+const (
+	DefaultFRAMBytes = 256 * 1024
+	DefaultSRAMBytes = 8 * 1024
+	LEABufferBytes   = 4 * 1024
+)
+
+// Memory is one physical memory bank.
+type Memory struct {
+	kind     Kind
+	capacity int
+	used     int
+	regions  []*Region
+}
+
+// New returns a memory bank of the given kind and byte capacity.
+func New(kind Kind, capacityBytes int) *Memory {
+	return &Memory{kind: kind, capacity: capacityBytes}
+}
+
+// Kind returns the memory technology.
+func (m *Memory) Kind() Kind { return m.kind }
+
+// Capacity returns the bank's size in bytes.
+func (m *Memory) Capacity() int { return m.capacity }
+
+// Used returns allocated bytes.
+func (m *Memory) Used() int { return m.used }
+
+// Free returns unallocated bytes.
+func (m *Memory) Free() int { return m.capacity - m.used }
+
+// Region is a named, word-addressed allocation. Words are int64 in the
+// simulation (so device kernels can hold exact wide accumulators); ElemBytes records the *modelled* element width (2 for Q15
+// weights/activations, 4 for wide accumulators) used in capacity
+// accounting.
+type Region struct {
+	Name      string
+	ElemBytes int
+	mem       *Memory
+	words     []int64
+}
+
+// Alloc reserves a region of n words of elemBytes each, or fails if the
+// bank lacks capacity.
+func (m *Memory) Alloc(name string, n, elemBytes int) (*Region, error) {
+	if n < 0 || elemBytes <= 0 {
+		return nil, fmt.Errorf("mem: invalid allocation %q: %d x %dB", name, n, elemBytes)
+	}
+	bytes := n * elemBytes
+	if m.used+bytes > m.capacity {
+		return nil, fmt.Errorf("mem: %s out of memory allocating %q: need %dB, %dB free",
+			m.kind, name, bytes, m.Free())
+	}
+	m.used += bytes
+	r := &Region{Name: name, ElemBytes: elemBytes, mem: m, words: make([]int64, n)}
+	m.regions = append(m.regions, r)
+	return r, nil
+}
+
+// MustAlloc is Alloc that panics on failure; for fixed-size runtime
+// metadata whose fit is a program invariant.
+func (m *Memory) MustAlloc(name string, n, elemBytes int) *Region {
+	r, err := m.Alloc(name, n, elemBytes)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Release frees a region's reservation. The region must belong to m.
+func (m *Memory) Release(r *Region) {
+	for i, reg := range m.regions {
+		if reg == r {
+			m.used -= len(r.words) * r.ElemBytes
+			m.regions = append(m.regions[:i], m.regions[i+1:]...)
+			r.mem = nil
+			return
+		}
+	}
+	panic(fmt.Sprintf("mem: freeing region %q not in %s", r.Name, m.kind))
+}
+
+// Reset releases all regions.
+func (m *Memory) Reset() {
+	m.regions = nil
+	m.used = 0
+}
+
+// ClearVolatile zeroes every region if the bank is SRAM (power failure
+// semantics); FRAM banks are untouched.
+func (m *Memory) ClearVolatile() {
+	if m.kind != SRAM {
+		return
+	}
+	for _, r := range m.regions {
+		for i := range r.words {
+			r.words[i] = 0
+		}
+	}
+}
+
+// Kind returns the memory technology holding this region.
+func (r *Region) Kind() Kind { return r.mem.kind }
+
+// Len returns the region's word count.
+func (r *Region) Len() int { return len(r.words) }
+
+// Get reads word i without energy accounting (host-side inspection only;
+// device code must go through mcu.Device which charges access energy).
+func (r *Region) Get(i int) int64 { return r.words[i] }
+
+// Put writes word i without energy accounting (host-side initialization,
+// e.g. placing weights at deploy time).
+func (r *Region) Put(i int, v int64) { r.words[i] = v }
+
+// Words exposes the raw storage for host-side bulk initialization.
+func (r *Region) Words() []int64 { return r.words }

@@ -1,0 +1,103 @@
+package mem
+
+import "testing"
+
+func TestAllocBudget(t *testing.T) {
+	m := New(FRAM, 100)
+	r, err := m.Alloc("a", 20, 2) // 40 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 40 || m.Free() != 60 {
+		t.Errorf("used/free = %d/%d", m.Used(), m.Free())
+	}
+	if _, err := m.Alloc("b", 40, 2); err == nil { // 80 > 60
+		t.Error("over-allocation should fail")
+	}
+	if _, err := m.Alloc("c", 30, 2); err != nil { // exactly 60
+		t.Errorf("exact fit should succeed: %v", err)
+	}
+	m.Release(r)
+	if m.Used() != 60 {
+		t.Errorf("after release used = %d, want 60", m.Used())
+	}
+}
+
+func TestAllocInvalid(t *testing.T) {
+	m := New(SRAM, 100)
+	if _, err := m.Alloc("bad", -1, 2); err == nil {
+		t.Error("negative size should fail")
+	}
+	if _, err := m.Alloc("bad", 1, 0); err == nil {
+		t.Error("zero elem bytes should fail")
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlloc should panic on overflow")
+		}
+	}()
+	New(SRAM, 10).MustAlloc("x", 100, 2)
+}
+
+func TestClearVolatile(t *testing.T) {
+	sram := New(SRAM, 1024)
+	fram := New(FRAM, 1024)
+	rs := sram.MustAlloc("s", 4, 2)
+	rf := fram.MustAlloc("f", 4, 2)
+	rs.Put(0, 42)
+	rf.Put(0, 42)
+	sram.ClearVolatile()
+	fram.ClearVolatile()
+	if rs.Get(0) != 0 {
+		t.Error("SRAM should clear on power failure")
+	}
+	if rf.Get(0) != 42 {
+		t.Error("FRAM must persist through power failure")
+	}
+}
+
+func TestRegionAccessors(t *testing.T) {
+	m := New(FRAM, 1024)
+	r := m.MustAlloc("r", 8, 4)
+	if r.Len() != 8 || r.Kind() != FRAM || r.ElemBytes != 4 {
+		t.Errorf("region metadata wrong: %d %v %d", r.Len(), r.Kind(), r.ElemBytes)
+	}
+	r.Put(3, -7)
+	if r.Get(3) != -7 {
+		t.Error("Put/Get roundtrip failed")
+	}
+	r.Words()[3] = 9
+	if r.Get(3) != 9 {
+		t.Error("Words should alias storage")
+	}
+}
+
+func TestReleaseForeignRegionPanics(t *testing.T) {
+	m1 := New(FRAM, 100)
+	m2 := New(FRAM, 100)
+	r := m1.MustAlloc("r", 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("releasing a foreign region should panic")
+		}
+	}()
+	m2.Release(r)
+}
+
+func TestReset(t *testing.T) {
+	m := New(SRAM, 100)
+	m.MustAlloc("a", 10, 2)
+	m.Reset()
+	if m.Used() != 0 {
+		t.Errorf("used after reset = %d", m.Used())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if FRAM.String() != "FRAM" || SRAM.String() != "SRAM" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,553 @@
+// Package sonic implements SONIC, the paper's software system for DNN
+// inference on intermittent power (§6). SONIC deliberately "breaks the
+// rules" of task-based systems: instead of privatizing and redo-logging
+// task-shared state, it writes loop indices directly to non-volatile
+// memory (loop continuation) and makes every loop iteration idempotent via
+// loop-ordered buffering (convolutions and dense fully-connected layers)
+// and sparse undo-logging (sparse fully-connected layers).
+//
+// Progress state is a single packed FRAM word — (layer, pass, pos, i) —
+// so each checkpoint is one atomic store, and Task_Next_Filter's
+// "atomic { swap buffers; i = 0; pos++ }" (Listing 1) is a single word
+// update: the double-buffer parity is derived from pos.
+//
+// SONIC produces logits bit-identical to dnn.QuantModel.Forward under any
+// power schedule.
+package sonic
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+)
+
+// SONIC is the software-only runtime. The zero value is the paper's
+// configuration; SparseViaBuffering is an ablation knob that disables
+// sparse undo-logging and runs sparse fully-connected layers with
+// loop-ordered buffering instead, paying the buffer-copying cost §6.2.2
+// describes ("SONIC ends up spending most of its time and energy copying
+// unmodified activations between buffers").
+type SONIC struct {
+	SparseViaBuffering bool
+}
+
+// Name identifies the runtime.
+func (s SONIC) Name() string {
+	if s.SparseViaBuffering {
+		return "sonic-nosul" // no sparse undo-logging
+	}
+	return "sonic"
+}
+
+// Control-block slots.
+const (
+	slotCursor    = 0 // packed (layer, pass, pos, i)
+	slotRead      = 1 // sparse undo-logging read index
+	slotCanonical = 2 // sparse undo-logging canonical value
+)
+
+// Cursor packs SONIC's entire progress state into one word so that every
+// checkpoint is a single atomic FRAM store. TAILS reuses it.
+type Cursor struct {
+	Layer int
+	Pass  int // 0 = main pass, then layer-specific passes
+	Pos   int // outer loop: filter element / input element / nonzero index
+	I     int // inner loop: output position / output index
+}
+
+// Pack encodes the cursor as a single word.
+func (c Cursor) Pack() int64 {
+	return int64(c.Layer)<<44 | int64(c.Pass)<<40 | int64(c.Pos)<<20 | int64(c.I)
+}
+
+// Unpack decodes a packed cursor word.
+func Unpack(v int64) Cursor {
+	return Cursor{
+		Layer: int(v >> 44),
+		Pass:  int(v>>40) & 0xf,
+		Pos:   int(v>>20) & 0xfffff,
+		I:     int(v) & 0xfffff,
+	}
+}
+
+// Infer runs one inference with loop continuation. It completes on any
+// power system whose buffer can fund a single loop iteration.
+func (s SONIC) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
+	if err := img.LoadInput(input); err != nil {
+		return nil, err
+	}
+	e := &Exec{Img: img, Dev: img.Dev, SparseViaBuffering: s.SparseViaBuffering}
+	if err := e.Dev.Run(func() { e.ResetVolatile(); e.Run(runLayerSONIC) }); err != nil {
+		return nil, err
+	}
+	return img.ReadOutput(FinalParity(img.Model)), nil
+}
+
+// FinalParity computes which activation buffer holds the output: every
+// value-producing layer flips the ping-pong parity; flatten does not.
+func FinalParity(qm *dnn.QuantModel) bool {
+	parity := false
+	for i := range qm.Layers {
+		if qm.Layers[i].Kind != dnn.QFlatten {
+			parity = !parity
+		}
+	}
+	return parity
+}
+
+// Exec is the volatile execution context shared by SONIC and TAILS; it is
+// reconstructed from the packed cursor after every reboot.
+type Exec struct {
+	Img *core.Image
+	Dev *mcu.Device
+
+	// SparseViaBuffering selects the ablated sparse-FC kernel.
+	SparseViaBuffering bool
+
+	// Every > 1 switches the progress policy from loop continuation to
+	// periodic checkpointing (package checkpoint): the durable cursor is
+	// stored only every Every-th iteration, together with a register/stack
+	// dump of RegWords words, and the in-between iterations keep their
+	// index in volatile registers. Boundaries (generation, pass, layer)
+	// and sparse undo-logging iterations always checkpoint, because
+	// re-execution across them is not idempotent.
+	Every    int
+	RegWords int
+
+	sinceCk int
+}
+
+// ResetVolatile clears the engine's register-resident state; runtimes call
+// it at the top of every attempt, since a reboot wipes registers.
+func (s *Exec) ResetVolatile() { s.sinceCk = 0 }
+
+// LayerFn executes (or resumes) one layer from the given start cursor,
+// reading activations from src and writing to dst. SONIC and TAILS supply
+// different implementations for the compute-heavy layers.
+type LayerFn func(s *Exec, li int, parity bool, start Cursor)
+
+// runLayerSONIC is SONIC's all-software layer dispatch.
+func runLayerSONIC(s *Exec, li int, parity bool, start Cursor) {
+	s.RunLayerSoftware(li, parity, start)
+}
+
+// Checkpoint writes the packed cursor — SONIC's per-iteration progress
+// store, the "unsafe" direct NV write that loop continuation legalizes.
+func (s *Exec) Checkpoint(c Cursor) {
+	if s.Every > 1 {
+		s.sinceCk++
+		if s.sinceCk < s.Every {
+			// Index stays in a volatile register; a failure here replays
+			// from the last durable checkpoint (wasted work).
+			s.Dev.Op(mcu.OpIncrement)
+			return
+		}
+	}
+	s.ForceCheckpoint(c)
+}
+
+// ForceCheckpoint makes the cursor durable regardless of the checkpoint
+// policy. Under periodic checkpointing it also dumps the modelled
+// register/stack state, as software checkpointing systems must.
+func (s *Exec) ForceCheckpoint(c Cursor) {
+	if s.Every > 1 {
+		s.sinceCk = 0
+		s.Dev.Ops(mcu.OpStoreFRAM, s.RegWords)
+	}
+	// StoreIndex lets the device model apply the §10 just-in-time index
+	// checkpoint architecture when enabled; on the stock MSP430 model it
+	// is a plain FRAM store.
+	s.Dev.StoreIndex(s.Img.Ctl, slotCursor, c.Pack())
+	s.Dev.Progress()
+}
+
+// Transition marks a task boundary (filter-element or layer change): one
+// cursor store plus the lightweight dispatch cost.
+func (s *Exec) Transition(layer string, c Cursor) {
+	s.Dev.SetSection(layer, mcu.PhaseTransition)
+	s.Dev.Op(mcu.OpTransition)
+	s.ForceCheckpoint(c)
+}
+
+// Run executes (or resumes) the whole inference. On entry it decodes the
+// cursor from FRAM and jumps to the interrupted iteration.
+func (s *Exec) Run(layerFn LayerFn) {
+	dev := s.Dev
+	dev.SetSection("other", mcu.PhaseControl)
+	cur := Unpack(dev.Load(s.Img.Ctl, slotCursor))
+
+	parity := false
+	for li := 0; li < len(s.Img.Layers); li++ {
+		q := s.Img.Layers[li].Q
+		flips := q.Kind != dnn.QFlatten
+		if li < cur.Layer {
+			if flips {
+				parity = !parity
+			}
+			continue // already completed before the last failure
+		}
+		start := Cursor{Layer: li}
+		if li == cur.Layer {
+			start = cur
+		}
+		layerFn(s, li, parity, start)
+		if flips {
+			parity = !parity
+		}
+		s.Transition(core.LayerName(s.Img.Model, li), Cursor{Layer: li + 1})
+	}
+}
+
+// RunLayerSoftware executes one layer from the given resume point using
+// SONIC's software kernels.
+func (s *Exec) RunLayerSoftware(li int, parity bool, start Cursor) {
+	l := &s.Img.Layers[li]
+	src, dst := ActBufs(s.Img, parity)
+	name := core.LayerName(s.Img.Model, li)
+	s.Dev.SetSection(name, mcu.PhaseControl)
+
+	switch l.Q.Kind {
+	case dnn.QConv:
+		s.convLayer(l, name, src, dst, start)
+	case dnn.QDense:
+		s.denseLayer(l, name, src, dst, start)
+	case dnn.QSparseDense:
+		if s.SparseViaBuffering {
+			s.sparseLayerBuffered(l, name, src, dst, start)
+		} else {
+			s.sparseLayer(l, name, src, dst, start)
+		}
+	case dnn.QReLU:
+		s.MapLayer(name, start, l.Q.InShape.Len(), func(i int) {
+			v := fixed.ReLU(fixed.Q15(s.Dev.Load(src, i)))
+			s.Dev.Store(dst, i, int64(v))
+		})
+	case dnn.QPool:
+		q := l.Q
+		c0, h, w := q.InShape[0], q.InShape[1], q.InShape[2]
+		oh, ow := h/q.Window, w/q.Window
+		s.MapLayer(name, start, c0*oh*ow, func(i int) {
+			ox := i % ow
+			oy := (i / ow) % oh
+			ci := i / (ow * oh)
+			best := fixed.MinusOne
+			for ky := 0; ky < q.Window; ky++ {
+				for kx := 0; kx < q.Window; kx++ {
+					s.Dev.Op(mcu.OpBranch)
+					v := fixed.Q15(s.Dev.Load(src, (ci*h+oy*q.Window+ky)*w+ox*q.Window+kx))
+					best = fixed.Max(best, v)
+				}
+			}
+			s.Dev.Store(dst, i, int64(best))
+		})
+	case dnn.QFlatten:
+		// identity: nothing to execute
+	}
+}
+
+// ActBufs returns (src, dst) activation buffers for a parity.
+func ActBufs(img *core.Image, parity bool) (*mem.Region, *mem.Region) {
+	if parity {
+		return img.ActB, img.ActA
+	}
+	return img.ActA, img.ActB
+}
+
+// AccBufs returns (dest, inter) partial buffers for a filter-element index:
+// the double buffer swaps every outer iteration, so parity is pos&1.
+func AccBufs(img *core.Image, pos int) (dest, inter *mem.Region) {
+	if pos&1 == 0 {
+		return img.AccA, img.AccB
+	}
+	return img.AccB, img.AccA
+}
+
+// mapLayer runs an elementwise pass (ReLU, pooling) with loop continuation
+// on the single index i.
+func (s *Exec) MapLayer(name string, start Cursor, n int, body func(i int)) {
+	dev := s.Dev
+	for i := start.I; i < n; i++ {
+		dev.SetSection(name, mcu.PhaseKernel)
+		dev.Op(mcu.OpBranch)
+		body(i)
+		dev.SetSection(name, mcu.PhaseControl)
+		s.Checkpoint(Cursor{Layer: start.Layer, Pass: start.Pass, I: i + 1})
+	}
+}
+
+// convLayer is the loop-ordered-buffering convolution of Fig. 7/Listing 1.
+// The outer loop (pos) walks filter elements — the NZ list for pruned
+// filters, every element for dense ones. Each inner iteration applies the
+// current filter element to one output position, reading only the
+// *previous* generation's partials (inter) and writing only the current
+// generation's (dest): no location is both read and written, so every
+// iteration is idempotent.
+//
+// Because loops are ordered so a filter's elements are consecutive, each
+// filter's output block alternates buffers independently of the others:
+// the first element of a filter writes without reading (so no generation
+// crosses filters), and the finalize pass picks up each filter's partials
+// from the parity of its last element.
+func (s *Exec) convLayer(l *core.LayerImage, name string, src, dst *mem.Region, start Cursor) {
+	q := l.Q
+	h, w := q.InShape[1], q.InShape[2]
+	oh, ow := q.OutShape[1], q.OutShape[2]
+	positions := oh * ow
+	elemsPerFilter := q.C * q.KH * q.KW
+	elems := l.W.Len()
+	if l.NZ != nil {
+		elems = l.NZ.Len()
+	}
+	dev := s.Dev
+
+	if start.Pass == 0 {
+		for pos := start.Pos; pos < elems; pos++ {
+			// Task entry (Task_Convolve): load the filter element into
+			// volatile registers. Re-executed after every power failure.
+			dev.SetSection(name, mcu.PhaseControl)
+			widx := pos
+			first := pos == 0
+			if l.NZ != nil {
+				widx = int(dev.Load(l.NZ, pos))
+				if pos > 0 {
+					prev := int(dev.Load(l.NZ, pos-1))
+					first = prev/elemsPerFilter != widx/elemsPerFilter
+				}
+			} else {
+				first = widx%elemsPerFilter == 0
+			}
+			wv := fixed.Q15(dev.Load(l.W, widx))
+			kx := widx % q.KW
+			ky := (widx / q.KW) % q.KH
+			ci := (widx / (q.KW * q.KH)) % q.C
+			f := widx / elemsPerFilter
+			base := f * positions
+			dest, inter := AccBufs(s.Img, pos)
+
+			iStart := 0
+			if pos == start.Pos {
+				iStart = start.I
+			}
+			for i := iStart; i < positions; i++ {
+				dev.SetSection(name, mcu.PhaseKernel)
+				dev.Op(mcu.OpBranch)
+				oy, ox := i/ow, i%ow
+				x := fixed.Q15(dev.Load(src, (ci*h+oy+ky)*w+ox+kx))
+				dev.Op(mcu.OpFixedMul)
+				var a fixed.Acc
+				if !first {
+					a = fixed.Acc(dev.Load(inter, base+i))
+					dev.Op(mcu.OpFixedAdd)
+				}
+				dev.Store(dest, base+i, int64(a.MAC(wv, x)))
+				dev.SetSection(name, mcu.PhaseControl)
+				s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos, I: i + 1})
+			}
+			// Task_Next_Filter: swap buffers, reset i, advance pos — one
+			// atomic word store since parity is derived from pos.
+			s.Transition(name, Cursor{Layer: start.Layer, Pos: pos + 1})
+		}
+		start = Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(name, start)
+	}
+
+	// Finalize pass: add bias and rescale each filter's final-generation
+	// partials into Q15 activations. Fully-pruned filters (FinPar == -1)
+	// have no partials and produce bias only.
+	s.MapLayer(name, start, q.F*positions, func(i int) {
+		f := i / positions
+		var par int64
+		if l.FinPar != nil {
+			par = dev.Load(l.FinPar, f)
+		} else {
+			par = int64(((f+1)*elemsPerFilter - 1) & 1)
+		}
+		bq := fixed.Q15(dev.Load(l.B, f))
+		var a fixed.Acc
+		if par >= 0 {
+			final, _ := AccBufs(s.Img, int(par))
+			a = fixed.Acc(dev.Load(final, i))
+			dev.Op(mcu.OpFixedAdd)
+		}
+		dev.Store(dst, i, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}
+
+// denseLayer applies loop-ordered buffering to a dense fully-connected
+// layer: the outer loop walks input elements, the inner loop updates every
+// output's partial in the opposite buffer.
+func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region, start Cursor) {
+	q := l.Q
+	dev := s.Dev
+	if start.Pass == 0 {
+		for pos := start.Pos; pos < q.In; pos++ {
+			dev.SetSection(name, mcu.PhaseControl)
+			x := fixed.Q15(dev.Load(src, pos))
+			dest, inter := AccBufs(s.Img, pos)
+			iStart := 0
+			if pos == start.Pos {
+				iStart = start.I
+			}
+			for o := iStart; o < q.Out; o++ {
+				dev.SetSection(name, mcu.PhaseKernel)
+				dev.Op(mcu.OpBranch)
+				wv := fixed.Q15(dev.Load(l.W, o*q.In+pos))
+				dev.Op(mcu.OpFixedMul)
+				var a fixed.Acc
+				if pos > 0 {
+					a = fixed.Acc(dev.Load(inter, o))
+					dev.Op(mcu.OpFixedAdd)
+				}
+				dev.Store(dest, o, int64(a.MAC(wv, x)))
+				dev.SetSection(name, mcu.PhaseControl)
+				s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos, I: o + 1})
+			}
+			s.Transition(name, Cursor{Layer: start.Layer, Pos: pos + 1})
+		}
+		start = Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(name, start)
+	}
+	final, _ := AccBufs(s.Img, q.In-1)
+	s.MapLayer(name, start, q.Out, func(o int) {
+		bq := fixed.Q15(dev.Load(l.B, o))
+		a := fixed.Acc(dev.Load(final, o))
+		dev.Op(mcu.OpFixedAdd)
+		dev.Store(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}
+
+// sparseLayer runs a sparse fully-connected layer with sparse undo-logging
+// (§6.2.2): partials accumulate in place in AccA; before each modification
+// the original value is copied to a canonical slot and the read index
+// advances, so an interrupted update resumes from the buffered original.
+// Work per iteration is proportional to the modifications made — one
+// nonzero — not to the output size, which is why SONIC prefers it to
+// loop-ordered buffering here.
+func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region, start Cursor) {
+	q := l.Q
+	dev := s.Dev
+	acc := s.Img.AccA
+	ctl := s.Img.Ctl
+	nnz := len(q.W)
+
+	switch start.Pass {
+	case 0:
+		// Zero the in-place accumulator (write-only, idempotent), and
+		// rearm the undo-log read index (idempotent: re-zeroing after a
+		// failure here is harmless because pass 1 has not started).
+		s.MapLayer(name, start, q.Out, func(o int) {
+			dev.Store(acc, o, 0)
+		})
+		dev.Store(ctl, slotRead, 0)
+		start = Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(name, start)
+		fallthrough
+	case 1:
+		// row is carried in the cursor's i field so the CSR walk resumes
+		// without rescanning RowPtr from zero.
+		row := start.I
+		for pos := start.Pos; pos < nnz; pos++ {
+			dev.SetSection(name, mcu.PhaseKernel)
+			dev.Op(mcu.OpBranch)
+			// Advance row until RowPtr[row+1] > pos.
+			for int(dev.Load(l.RowPtr, row+1)) <= pos {
+				dev.Op(mcu.OpBranch)
+				row++
+			}
+			// Sparse undo-logging two-phase update.
+			rd := int(dev.Load(ctl, slotRead))
+			if rd <= pos {
+				orig := dev.Load(acc, row)
+				dev.Store(ctl, slotCanonical, orig)
+				dev.Store(ctl, slotRead, int64(pos+1))
+			}
+			canon := fixed.Acc(dev.Load(ctl, slotCanonical))
+			wv := fixed.Q15(dev.Load(l.W, pos))
+			col := int(dev.Load(l.Cols, pos))
+			x := fixed.Q15(dev.Load(src, col))
+			dev.Op(mcu.OpFixedMul)
+			dev.Op(mcu.OpFixedAdd)
+			dev.Store(acc, row, int64(canon.MAC(wv, x)))
+			dev.SetSection(name, mcu.PhaseControl)
+			// Sparse undo-logging is only idempotent one iteration deep,
+			// so even checkpointing runtimes commit the cursor here.
+			s.ForceCheckpoint(Cursor{Layer: start.Layer, Pass: 1, Pos: pos + 1, I: row})
+		}
+		start = Cursor{Layer: start.Layer, Pass: 2}
+		s.Transition(name, start)
+		fallthrough
+	default:
+		s.MapLayer(name, start, q.Out, func(o int) {
+			bq := fixed.Q15(dev.Load(l.B, o))
+			a := fixed.Acc(dev.Load(acc, o))
+			dev.Op(mcu.OpFixedAdd)
+			dev.Store(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+		})
+	}
+}
+
+// sparseLayerBuffered is the ablation of sparse undo-logging: the sparse
+// fully-connected layer computed with loop-ordered buffering, as a dense
+// layer would be. Each outer iteration applies one nonzero weight, but must
+// copy every *unmodified* partial from the previous generation's buffer to
+// the current one so the generations stay coherent — work proportional to
+// the output size rather than to the modifications made. This is exactly
+// the waste §6.2.2 identifies and sparse undo-logging eliminates.
+func (s *Exec) sparseLayerBuffered(l *core.LayerImage, name string, src, dst *mem.Region, start Cursor) {
+	q := l.Q
+	dev := s.Dev
+	nnz := len(q.W)
+
+	if start.Pass == 0 {
+		row := start.I
+		for pos := start.Pos; pos < nnz; pos++ {
+			dev.SetSection(name, mcu.PhaseControl)
+			dest, inter := AccBufs(s.Img, pos)
+			// Advance the CSR row cursor (carried in the packed cursor).
+			for int(dev.Load(l.RowPtr, row+1)) <= pos {
+				dev.Op(mcu.OpBranch)
+				row++
+			}
+			wv := fixed.Q15(dev.Load(l.W, pos))
+			col := int(dev.Load(l.Cols, pos))
+			x := fixed.Q15(dev.Load(src, col))
+			dev.Op(mcu.OpFixedMul)
+			prod := fixed.Acc(0).MAC(wv, x)
+			dev.SetSection(name, mcu.PhaseKernel)
+			// One generation: copy all partials forward, adding the
+			// product into the modified row.
+			for o := 0; o < q.Out; o++ {
+				dev.Op(mcu.OpBranch)
+				var a fixed.Acc
+				if pos > 0 {
+					a = fixed.Acc(dev.Load(inter, o))
+				}
+				if o == row {
+					dev.Op(mcu.OpFixedAdd)
+					a += prod
+				}
+				dev.Store(dest, o, int64(a))
+			}
+			dev.SetSection(name, mcu.PhaseControl)
+			s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos + 1, I: row})
+		}
+		start = Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(name, start)
+	}
+
+	var final *mem.Region
+	if nnz > 0 {
+		final, _ = AccBufs(s.Img, nnz-1)
+	}
+	s.MapLayer(name, start, q.Out, func(o int) {
+		bq := fixed.Q15(dev.Load(l.B, o))
+		var a fixed.Acc
+		if final != nil {
+			a = fixed.Acc(dev.Load(final, o))
+			dev.Op(mcu.OpFixedAdd)
+		}
+		dev.Store(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}

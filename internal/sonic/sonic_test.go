@@ -1,0 +1,428 @@
+package sonic
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+)
+
+// buildModel trains a small HAR network with all layer kinds (pruned conv,
+// dense FC, sparse FC, relu) and quantizes it.
+func buildModel(t testing.TB) (*dnn.QuantModel, []dataset.Example) {
+	t.Helper()
+	ds := dataset.HAR(3, 240, 12)
+	n := dnn.HARNet(3)
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	dnn.Train(n, ds, cfg)
+	n.Layers[0].(*dnn.Conv).Prune(0.03)
+	n.Layers[3] = dnn.NewSparseDense(n.Layers[3].(*dnn.Dense), 0.02)
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, ds.Test
+}
+
+// buildPoolModel exercises a conv+pool topology (MNIST-like, untrained —
+// arithmetic equivalence does not need accuracy).
+func buildPoolModel(t testing.TB) (*dnn.QuantModel, []float64) {
+	t.Helper()
+	n := dnn.MNISTNet(5)
+	ds := dataset.Digits(5, 4, 0)
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, ds.Train[1].X
+}
+
+func assertEqualQ(t *testing.T, got, want []fixed.Q15, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: logit %d: got %d, want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSONICMatchesHostReferenceContinuous(t *testing.T) {
+	qm, ex := buildModel(t)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ex {
+		qin := qm.QuantizeInput(e.X)
+		want := qm.Forward(qin)
+		got, err := SONIC{}.Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, want, "continuous")
+	}
+}
+
+func TestSONICMatchesHostOnConvPoolTopology(t *testing.T) {
+	qm, x := buildPoolModel(t)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qin := qm.QuantizeInput(x)
+	want := qm.Forward(qin)
+	got, err := SONIC{}.Infer(img, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualQ(t, got, want, "mnist-topology")
+}
+
+// The paper's core guarantee: SONIC completes and produces the
+// continuous-power result under ANY power schedule. Sweep failure periods
+// down to a handful of operations per charge.
+func TestSONICCorrectUnderDenseFailureInjection(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	want := qm.Forward(qin)
+	for _, period := range []int{60, 97, 231, 1009, 5003} {
+		dev := mcu.New(energy.NewFailAfterOps(period, period))
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SONIC{}.Infer(img, qin)
+		if err != nil {
+			t.Fatalf("period %d: SONIC must always complete: %v", period, err)
+		}
+		assertEqualQ(t, got, want, "injected")
+		if dev.Stats().Reboots == 0 {
+			t.Errorf("period %d: expected reboots", period)
+		}
+	}
+}
+
+// Property: for random failure periods, SONIC's output is exactly the host
+// reference's.
+func TestSONICEquivalenceProperty(t *testing.T) {
+	qm, ex := buildModel(t)
+	inputs := make([][]fixed.Q15, 0, 4)
+	wants := make([][]fixed.Q15, 0, 4)
+	for i := 0; i < 4; i++ {
+		qin := qm.QuantizeInput(ex[i].X)
+		inputs = append(inputs, qin)
+		wants = append(wants, qm.Forward(qin))
+	}
+	f := func(seed uint32) bool {
+		period := 50 + int(seed%5000)
+		sample := int(seed) % len(inputs)
+		dev := mcu.New(energy.NewFailAfterOps(period, period))
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			return false
+		}
+		got, err := SONIC{}.Infer(img, inputs[sample])
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != wants[sample][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSONICCompletesOnAllCapacitors(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	want := qm.Forward(qin)
+	for _, cap := range []energy.Capacitor{energy.Cap100uF, energy.Cap1mF, energy.Cap50mF} {
+		dev := mcu.New(energy.NewIntermittent(cap, energy.ConstantHarvester{Watts: energy.DefaultRFWatts}))
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SONIC{}.Infer(img, qin)
+		if err != nil {
+			t.Fatalf("cap %.0fuF: %v", cap.C*1e6, err)
+		}
+		assertEqualQ(t, got, want, "capacitor")
+	}
+}
+
+func TestSONICStochasticHarvester(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[1].X)
+	want := qm.Forward(qin)
+	dev := mcu.New(energy.NewIntermittent(energy.Cap100uF,
+		energy.NewStochasticHarvester(energy.DefaultRFWatts, 0.4, 7)))
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SONIC{}.Infer(img, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualQ(t, got, want, "stochastic")
+}
+
+func TestSONICFasterThanTilingSlowerThanBase(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	run := func(rt core.Runtime) float64 {
+		dev := mcu.New(energy.Continuous{})
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Infer(img, qin); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats().EnergyNJ
+	}
+	base := run(baseline.Base{})
+	tile8 := run(baseline.Tile{TileSize: 8})
+	sonic := run(SONIC{})
+	if sonic <= base {
+		t.Errorf("SONIC (%v) should cost somewhat more than base (%v)", sonic, base)
+	}
+	if sonic >= tile8 {
+		t.Errorf("SONIC (%v) must beat tile-8 (%v)", sonic, tile8)
+	}
+	t.Logf("energy: base=%.1fuJ sonic=%.1fuJ tile8=%.1fuJ; sonic/base=%.2fx tile8/sonic=%.2fx",
+		base/1e3, sonic/1e3, tile8/1e3, sonic/base, tile8/sonic)
+}
+
+func TestSONICReusesImageAcrossInferences(t *testing.T) {
+	// Back-to-back inferences on one deployed image must be independent.
+	qm, ex := buildModel(t)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		qin := qm.QuantizeInput(ex[i].X)
+		got, err := SONIC{}.Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, qm.Forward(qin), "reuse")
+	}
+}
+
+func TestCursorPackUnpack(t *testing.T) {
+	cases := []Cursor{
+		{}, {Layer: 5, Pass: 2, Pos: 3200, I: 4607},
+		{Layer: 63, Pass: 3, Pos: 1<<20 - 1, I: 1<<20 - 1},
+	}
+	for _, c := range cases {
+		if got := Unpack(c.Pack()); got != c {
+			t.Errorf("pack/unpack %+v -> %+v", c, got)
+		}
+	}
+}
+
+func BenchmarkSONICInferHAR(b *testing.B) {
+	qm, ex := buildModel(b)
+	dev := mcu.New(energy.Continuous{})
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qin := qm.QuantizeInput(ex[0].X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (SONIC{}).Infer(img, qin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The §6.2.2 ablation: sparse undo-logging must (a) compute the same
+// result as loop-ordered buffering and (b) be significantly cheaper on
+// sparse layers, where buffering wastes energy copying unmodified
+// partials.
+func TestSparseUndoLoggingAblation(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	want := qm.Forward(qin)
+
+	run := func(rt core.Runtime) float64 {
+		dev := mcu.New(energy.Continuous{})
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, want, rt.Name())
+		return dev.Stats().EnergyNJ
+	}
+	withSUL := run(SONIC{})
+	without := run(SONIC{SparseViaBuffering: true})
+	if without <= withSUL {
+		t.Errorf("loop-ordered buffering on sparse FC should cost more: %v vs %v", without, withSUL)
+	}
+	t.Logf("sparse FC: undo-logging %.0fuJ vs buffering %.0fuJ (%.1fx saved)",
+		withSUL/1e3, without/1e3, without/withSUL)
+}
+
+// The ablated kernel must also be correct under failure injection.
+func TestSparseBufferedCorrectUnderFailures(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[1].X)
+	want := qm.Forward(qin)
+	for _, period := range []int{997, 5003} {
+		dev := mcu.New(energy.NewFailAfterOps(period, period))
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := (SONIC{SparseViaBuffering: true}).Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, want, "buffered-injected")
+	}
+}
+
+// The §10 future-architecture estimate: eliminating per-iteration FRAM
+// index writes (via a just-in-time checkpointing index cache) should save
+// on the order of 14% of SONIC's system energy — and must not change
+// results, even under failure injection.
+func TestJITIndexCheckpointArchitecture(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	want := qm.Forward(qin)
+
+	run := func(jit bool, period int) float64 {
+		var p energy.System = energy.Continuous{}
+		if period > 0 {
+			p = energy.NewFailAfterOps(period, period)
+		}
+		dev := mcu.New(p)
+		dev.JITIndexCheckpoint = jit
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SONIC{}.Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, want, "jit")
+		return dev.Stats().EnergyNJ
+	}
+
+	stock := run(false, 0)
+	jit := run(true, 0)
+	saving := 1 - jit/stock
+	if saving < 0.05 || saving > 0.30 {
+		t.Errorf("JIT index checkpoint saving = %.1f%%, expected ~14%% (5-30%%)", saving*100)
+	}
+	t.Logf("JIT index-checkpoint architecture saves %.1f%% of SONIC energy (paper estimate: 14%%)", saving*100)
+
+	// Correctness must hold under power failures too (the cache flushes at
+	// brown-out, so indices persist).
+	run(true, 777)
+}
+
+// A network with two sparse layers exercises the undo-log read-index reset
+// between layers.
+func TestTwoSparseLayersUndoLogReset(t *testing.T) {
+	ds := dataset.HAR(11, 120, 8)
+	rng := rand.New(rand.NewPCG(11, 0))
+	n := dnn.NewNetwork("twosparse", dnn.Shape{3, 1, 32})
+	n.Add(dnn.NewFlatten(),
+		dnn.NewDense(rng, 48, 96), dnn.NewReLU(),
+		dnn.NewDense(rng, 24, 48), dnn.NewReLU(),
+		dnn.NewDense(rng, 6, 24))
+	dnn.Train(n, ds, dnn.TrainConfig{Epochs: 1, LR: 0.004, Momentum: 0.9, Decay: 1, Seed: 1})
+	n.Layers[1] = dnn.NewSparseDense(n.Layers[1].(*dnn.Dense), 0.02)
+	n.Layers[3] = dnn.NewSparseDense(n.Layers[3].(*dnn.Dense), 0.02)
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qin := qm.QuantizeInput(ds.Test[0].X)
+	want := qm.Forward(qin)
+	for _, period := range []int{0, 83, 419, 1993} {
+		var p energy.System = energy.Continuous{}
+		if period > 0 {
+			p = energy.NewFailAfterOps(period, period)
+		}
+		dev := mcu.New(p)
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SONIC{}.Infer(img, qin)
+		if err != nil {
+			t.Fatalf("period %d: %v", period, err)
+		}
+		assertEqualQ(t, got, want, "two-sparse")
+	}
+}
+
+// Solar harvesting: wildly varying recharge times must not affect results.
+func TestSONICSolarHarvester(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[2].X)
+	want := qm.Forward(qin)
+	dev := mcu.New(energy.NewIntermittent(energy.Cap100uF, energy.NewSolarHarvester(5e-3, 3)))
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SONIC{}.Infer(img, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualQ(t, got, want, "solar")
+	if dev.Stats().DeadSeconds <= 0 {
+		t.Error("solar run should accumulate dead time")
+	}
+}
+
+// Time-varying trace-driven power must not affect results either.
+func TestSONICTraceHarvester(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[3].X)
+	want := qm.Forward(qin)
+	trace, err := energy.NewTraceHarvester([]float64{5e-3, 1e-3, 8e-3, 2e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := mcu.New(energy.NewIntermittent(energy.Cap100uF, trace))
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SONIC{}.Infer(img, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualQ(t, got, want, "trace")
+}

@@ -1,0 +1,116 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/imodel"
+	"repro/internal/mcu"
+	"repro/internal/sonic"
+)
+
+func TestTrainLearnsHAR(t *testing.T) {
+	ds := dataset.HAR(1, 600, 150)
+	n, acc, err := Train(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Errorf("SVM accuracy %v, want >= 0.5 (6-class, chance 0.17)", acc)
+	}
+	if len(n.Layers) != 1 || n.Layers[0].Kind() != "dense" {
+		t.Error("SVM should be a single dense layer")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	ds := &dataset.Dataset{Name: "empty", InputShape: [3]int{1, 1, 4}, NumClasses: 2}
+	if _, _, err := Train(ds, DefaultConfig()); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+// TestSVMDeploysAndRunsIntermittently: the SVM must run unchanged through
+// the quantize/deploy/SONIC path.
+func TestSVMDeploysAndRunsIntermittently(t *testing.T) {
+	ds := dataset.HAR(2, 400, 80)
+	n, _, err := Train(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := mcu.New(energy.NewIntermittent(energy.Cap100uF,
+		energy.ConstantHarvester{Watts: energy.DefaultRFWatts}))
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qin := qm.QuantizeInput(ds.Test[0].X)
+	want := qm.Forward(qin)
+	got, err := (sonic.SONIC{}).Infer(img, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SVM logit %d differs intermittently", i)
+		}
+	}
+}
+
+// TestSVMVersusDNNByIMpJ reproduces §5.1's comparison: score a feasible SVM
+// and a compressed DNN with the same IMpJ model. The paper found the DNN
+// ahead (2x on MNIST, 8x on HAR); we assert the comparison runs and report
+// the measured ratio — on our easier synthetic data the gap narrows, which
+// EXPERIMENTS.md documents.
+func TestSVMVersusDNNByIMpJ(t *testing.T) {
+	ds := dataset.HAR(3, 600, 150)
+
+	svmNet, svmAcc, err := Train(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnnNet := dnn.HARNet(3)
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 3
+	dnn.Train(dnnNet, ds, cfg)
+	dnnAcc := dnn.Evaluate(dnnNet, ds.Test)
+
+	score := func(n *dnn.Network) (float64, float64) {
+		qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := mcu.New(energy.Continuous{})
+		img, err := core.Deploy(dev, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := (sonic.SONIC{}).Infer(img, qm.QuantizeInput(ds.Test[0].X)); err != nil {
+			t.Fatal(err)
+		}
+		eInfer := dev.Stats().EnergyNJ * 1e-9
+		conf := dnn.Confusion(n, ds.Test, ds.NumClasses)
+		tp, tn := dnn.BinaryRates(conf, 0)
+		p := imodel.WildlifeDefaults()
+		p.EComm /= imodel.ResultOnlyCommFactor
+		p.TP, p.TN, p.EInfer = tp, tn, eInfer
+		return imodel.Inference(p), eInfer
+	}
+	svmIMpJ, svmE := score(svmNet)
+	dnnIMpJ, dnnE := score(dnnNet)
+	if svmIMpJ <= 0 || dnnIMpJ <= 0 {
+		t.Fatal("IMpJ should be positive for both models")
+	}
+	t.Logf("HAR: SVM acc %.2f E %.2fmJ IMpJ %.2f | DNN acc %.2f E %.2fmJ IMpJ %.2f | DNN/SVM = %.2fx",
+		svmAcc, svmE*1e3, svmIMpJ, dnnAcc, dnnE*1e3, dnnIMpJ, dnnIMpJ/svmIMpJ)
+	if dnnAcc < svmAcc-0.05 {
+		t.Errorf("DNN accuracy (%v) should not trail the linear SVM (%v)", dnnAcc, svmAcc)
+	}
+}

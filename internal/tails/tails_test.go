@@ -1,0 +1,333 @@
+package tails
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand/v2"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/sonic"
+)
+
+// buildModel trains a small HAR network with all layer kinds.
+func buildModel(t testing.TB) (*dnn.QuantModel, []dataset.Example) {
+	t.Helper()
+	ds := dataset.HAR(3, 240, 12)
+	n := dnn.HARNet(3)
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	dnn.Train(n, ds, cfg)
+	n.Layers[0].(*dnn.Conv).Prune(0.03)
+	n.Layers[3] = dnn.NewSparseDense(n.Layers[3].(*dnn.Dense), 0.02)
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X, ds.Train[1].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, ds.Test
+}
+
+// denseOnlyModel has no conv layers, so TAILS must be bit-identical to the
+// host reference (wide MAC accumulators end to end).
+func denseOnlyModel(t testing.TB) (*dnn.QuantModel, []dataset.Example) {
+	t.Helper()
+	ds := dataset.HAR(9, 120, 12)
+	rng := rand.New(rand.NewPCG(9, 0))
+	n := dnn.NewNetwork("dense-only", dnn.Shape{3, 1, 32})
+	n.Add(dnn.NewFlatten(), dnn.NewDense(rng, 32, 96), dnn.NewReLU(), dnn.NewDense(rng, 6, 32))
+	dnn.Train(n, ds, dnn.TrainConfig{Epochs: 2, LR: 0.004, Momentum: 0.9, Decay: 0.8, Seed: 1})
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, ds.Test
+}
+
+func assertEqualQ(t *testing.T, got, want []fixed.Q15, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: logit %d: got %d, want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func deploy(t testing.TB, qm *dnn.QuantModel, p energy.System) (*mcu.Device, *core.Image) {
+	t.Helper()
+	dev := mcu.New(p)
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, img
+}
+
+func TestCalibrationPersistsAndHalves(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+
+	// Continuous power: first trial succeeds at the maximum.
+	_, img := deploy(t, qm, energy.Continuous{})
+	if _, err := (TAILS{}).Infer(img, qin); err != nil {
+		t.Fatal(err)
+	}
+	full := CalibratedTile(img)
+	if full <= 0 {
+		t.Fatal("calibration did not persist")
+	}
+
+	// Tiny energy buffer: calibration must halve until a trial fits.
+	dev2, img2 := deploy(t, qm, energy.NewFailAfterOps(700, 700))
+	if _, err := (TAILS{}).Infer(img2, qin); err != nil {
+		t.Fatal(err)
+	}
+	small := CalibratedTile(img2)
+	if small >= full {
+		t.Errorf("constrained tile %d should be smaller than unconstrained %d", small, full)
+	}
+	if small < minTile {
+		t.Errorf("tile %d below minimum", small)
+	}
+	if dev2.Stats().Reboots == 0 {
+		t.Error("expected calibration reboots")
+	}
+
+	// Second inference on the same image must not recalibrate.
+	before := img2.Cal.Get(calTile)
+	if _, err := (TAILS{}).Infer(img2, qin); err != nil {
+		t.Fatal(err)
+	}
+	if img2.Cal.Get(calTile) != before {
+		t.Error("calibration should be one-time")
+	}
+}
+
+func TestTAILSDenseBitExactVsHost(t *testing.T) {
+	qm, ex := denseOnlyModel(t)
+	_, img := deploy(t, qm, energy.Continuous{})
+	for i := 0; i < 6; i++ {
+		qin := qm.QuantizeInput(ex[i].X)
+		got, err := (TAILS{}).Infer(img, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualQ(t, got, qm.Forward(qin), "dense-only")
+	}
+}
+
+// The central property: TAILS under any power schedule produces exactly the
+// TAILS continuous-power result (its conv arithmetic legitimately differs
+// from the software runtimes, but must be self-consistent).
+func TestTAILSIntermittentEqualsContinuous(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	_, imgC := deploy(t, qm, energy.Continuous{})
+	want, err := (TAILS{}).Infer(imgC, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, period := range []int{401, 997, 2003, 9001} {
+		dev, img := deploy(t, qm, energy.NewFailAfterOps(period, period))
+		got, err := (TAILS{}).Infer(img, qin)
+		if err != nil {
+			t.Fatalf("period %d: %v", period, err)
+		}
+		// Note: the calibrated tile differs across power systems, which can
+		// only change *chunking*, not values: FIR chunk boundaries produce
+		// the same Q15 outputs because each output is an independent dot
+		// product. Assert exact equality.
+		assertEqualQ(t, got, want, "intermittent")
+		if dev.Stats().Reboots == 0 {
+			t.Errorf("period %d: expected reboots", period)
+		}
+	}
+}
+
+// Property over random failure periods.
+func TestTAILSEquivalenceProperty(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[1].X)
+	_, imgC := deploy(t, qm, energy.Continuous{})
+	want, err := (TAILS{}).Infer(imgC, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint32) bool {
+		period := 400 + int(seed%8000)
+		_, img := deploy(t, qm, energy.NewFailAfterOps(period, period))
+		got, err := (TAILS{}).Infer(img, qin)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTAILSAccuracyCloseToSoftware(t *testing.T) {
+	// TAILS's pre-shifted Q15 conv arithmetic may differ in low bits; its
+	// classification decisions must still overwhelmingly agree with SONIC.
+	qm, ex := buildModel(t)
+	_, imgT := deploy(t, qm, energy.Continuous{})
+	_, imgS := deploy(t, qm, energy.Continuous{})
+	agree := 0
+	for _, e := range ex {
+		qin := qm.QuantizeInput(e.X)
+		gt, err := (TAILS{}).Infer(imgT, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := (sonic.SONIC{}).Infer(imgS, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.Argmax(gt) == core.Argmax(gs) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(ex)); frac < 0.9 {
+		t.Errorf("TAILS/SONIC argmax agreement = %v, want >= 0.9", frac)
+	}
+}
+
+func TestTAILSFasterThanSONIC(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	run := func(rt core.Runtime) float64 {
+		dev, img := deploy(t, qm, energy.Continuous{})
+		if _, err := rt.Infer(img, qin); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats().EnergyNJ
+	}
+	base := run(baseline.Base{})
+	son := run(sonic.SONIC{})
+	tls := run(TAILS{})
+	noLEA := run(TAILS{SoftwareLEA: true})
+	noDMA := run(TAILS{SoftwareDMA: true})
+	if tls >= son {
+		t.Errorf("TAILS (%v) must beat SONIC (%v)", tls, son)
+	}
+	if tls >= noLEA {
+		t.Errorf("LEA must help: tails %v vs software-LEA %v", tls, noLEA)
+	}
+	if tls >= noDMA {
+		t.Errorf("DMA must help: tails %v vs software-DMA %v", tls, noDMA)
+	}
+	t.Logf("energy: base=%.0fuJ sonic=%.0fuJ tails=%.0fuJ noLEA=%.0fuJ noDMA=%.0fuJ | tails/base=%.2f LEA-gain=%.2fx DMA-gain=%.2fx",
+		base/1e3, son/1e3, tls/1e3, noLEA/1e3, noDMA/1e3, tls/base, noLEA/tls, noDMA/tls)
+}
+
+func TestTAILSCompletesOnAllCapacitors(t *testing.T) {
+	qm, ex := buildModel(t)
+	qin := qm.QuantizeInput(ex[0].X)
+	_, imgC := deploy(t, qm, energy.Continuous{})
+	want, err := (TAILS{}).Infer(imgC, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []energy.Capacitor{energy.Cap100uF, energy.Cap1mF, energy.Cap50mF} {
+		_, img := deploy(t, qm, energy.NewIntermittent(cap, energy.ConstantHarvester{Watts: energy.DefaultRFWatts}))
+		got, err := (TAILS{}).Infer(img, qin)
+		if err != nil {
+			t.Fatalf("cap %.0fuF: %v", cap.C*1e6, err)
+		}
+		// Different calibrated tiles must not change values.
+		assertEqualQ(t, got, want, "capacitor")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (TAILS{}).Name() != "tails" ||
+		(TAILS{SoftwareLEA: true}).Name() != "tails-noLEA" ||
+		(TAILS{SoftwareDMA: true}).Name() != "tails-noDMA" ||
+		(TAILS{SoftwareLEA: true, SoftwareDMA: true}).Name() != "tails-sw" {
+		t.Error("names wrong")
+	}
+}
+
+func BenchmarkTAILSInferHAR(b *testing.B) {
+	qm, ex := buildModel(b)
+	_, img := deploy(b, qm, energy.Continuous{})
+	qin := qm.QuantizeInput(ex[0].X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (TAILS{}).Infer(img, qin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A wide dense layer (In > the LEA tile) exercises the chunked MACV path
+// and must stay bit-exact versus the host reference.
+func TestTAILSWideDenseChunking(t *testing.T) {
+	ds := dataset.Keyword(5, 200, 40)
+	rng := rand.New(rand.NewPCG(5, 0))
+	n := dnn.NewNetwork("wide", dnn.Shape{1, 32, 16})
+	n.Add(dnn.NewFlatten(), dnn.NewDense(rng, 16, 512), dnn.NewReLU(), dnn.NewDense(rng, 12, 16))
+	dnn.Train(n, ds, dnn.TrainConfig{Epochs: 1, LR: 0.004, Momentum: 0.9, Decay: 1, Seed: 1})
+	qm, err := dnn.Quantize(n, [][]float64{ds.Train[0].X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constrain power so calibration lands a small tile, forcing multiple
+	// chunks per output row.
+	dev, img := deploy(t, qm, energy.NewFailAfterOps(900, 900))
+	qin := qm.QuantizeInput(ds.Test[0].X)
+	got, err := (TAILS{}).Infer(img, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile := CalibratedTile(img); tile >= 512 {
+		t.Fatalf("expected a constrained tile < 512, got %d", tile)
+	}
+	assertEqualQ(t, got, qm.Forward(qin), "wide-dense")
+	if dev.Stats().OpCount[mcu.OpLEAInvoke] == 0 {
+		t.Error("LEA should have been used")
+	}
+}
+
+// A conv whose output scale is finer than its product scale (negative
+// Shift) exercises TAILS's software post-shift path.
+func TestTAILSNegativeShiftConv(t *testing.T) {
+	qm, ex := buildModel(t)
+	// Force a negative shift on the conv layer; TAILS must still be
+	// self-consistent between continuous and intermittent execution.
+	for i := range qm.Layers {
+		if qm.Layers[i].Kind == dnn.QConv {
+			qm.Layers[i].Shift--
+			qm.Layers[i].OutScale--
+			// Downstream layers see the same wire format; this test only
+			// checks TAILS's internal consistency, not accuracy.
+			break
+		}
+	}
+	qin := qm.QuantizeInput(ex[0].X)
+	_, imgC := deploy(t, qm, energy.Continuous{})
+	want, err := (TAILS{}).Infer(imgC, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imgI := deploy(t, qm, energy.NewFailAfterOps(1501, 1501))
+	got, err := (TAILS{}).Infer(imgI, qin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualQ(t, got, want, "neg-shift")
+}

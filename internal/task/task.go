@@ -1,0 +1,256 @@
+// Package task implements a task-based intermittent execution runtime in
+// the style of Alpaca (Maeng et al., OOPSLA'17), the state of the art the
+// paper compares against. Programs are chains of tasks; each task executes
+// atomically with respect to power failures:
+//
+//   - writes to task-shared non-volatile data are redo-logged during
+//     execution;
+//   - at the task transition the log is committed to the home locations
+//     under a two-phase protocol, so a failure during commit replays the
+//     (idempotent) redo log on reboot;
+//   - a failure during execution discards the log and restarts the task.
+//
+// This reproduces the cost structure the paper attributes to prior
+// task-based systems: every write pays dynamic buffering, every transition
+// pays commit plus dispatch, and every failure wastes the partial task.
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/mcu"
+	"repro/internal/mem"
+)
+
+// ID names a task within a runtime. Done terminates the program.
+type ID int32
+
+// Done is the transition target that ends the program.
+const Done ID = -1
+
+// execution phases of the two-phase commit protocol.
+const (
+	phaseExec   = 0
+	phaseCommit = 1
+)
+
+// state-region word offsets.
+const (
+	stPhase = 0 // phaseExec or phaseCommit
+	stCur   = 1 // current task id
+	stNext  = 2 // transition target staged before commit
+	stCount = 3 // redo-log entry count
+
+	stateWords = 4
+)
+
+// Func is a task body. It must be idempotent up to its task-shared writes
+// (which the runtime privatizes) and returns the next task.
+type Func func(*Ctx) ID
+
+// Runtime executes a task graph on a device.
+type Runtime struct {
+	dev *mcu.Device
+
+	tasks []taskEntry
+	state *mem.Region
+	log   *mem.Region // interleaved (packed address, value) pairs
+	cap   int
+
+	shared []*mem.Region
+	ids    map[*mem.Region]int
+
+	// writeSet maps packed addresses to log slots. It models Alpaca's
+	// privatization lookup and is volatile: cleared at task start and
+	// implicitly discarded by restarts.
+	writeSet map[int64]int
+}
+
+type taskEntry struct {
+	name string
+	f    Func
+}
+
+// DefaultLogEntries is the redo-log capacity if the caller does not size it.
+const DefaultLogEntries = 1024
+
+// New creates a runtime on dev with a redo log of logEntries entries.
+// The log and control state live in FRAM and count against its capacity.
+func New(dev *mcu.Device, logEntries int) (*Runtime, error) {
+	if logEntries <= 0 {
+		logEntries = DefaultLogEntries
+	}
+	state, err := dev.FRAM.Alloc("task.state", stateWords, 2)
+	if err != nil {
+		return nil, err
+	}
+	log, err := dev.FRAM.Alloc("task.redolog", 2*logEntries, 4)
+	if err != nil {
+		dev.FRAM.Release(state)
+		return nil, err
+	}
+	return &Runtime{
+		dev:   dev,
+		state: state,
+		log:   log,
+		cap:   logEntries,
+		ids:   make(map[*mem.Region]int),
+	}, nil
+}
+
+// Release frees the runtime's FRAM footprint.
+func (rt *Runtime) Release() {
+	rt.dev.FRAM.Release(rt.state)
+	rt.dev.FRAM.Release(rt.log)
+}
+
+// Add registers a task and returns its ID.
+func (rt *Runtime) Add(name string, f Func) ID {
+	rt.tasks = append(rt.tasks, taskEntry{name: name, f: f})
+	return ID(len(rt.tasks) - 1)
+}
+
+// Share registers a non-volatile region as task-shared: reads and writes to
+// it from task bodies go through the redo-log protocol.
+func (rt *Runtime) Share(r *mem.Region) {
+	if _, ok := rt.ids[r]; ok {
+		return
+	}
+	rt.ids[r] = len(rt.shared)
+	rt.shared = append(rt.shared, r)
+}
+
+// Start initializes the control state to begin execution at entry. This is
+// host-side (deploy/boot-time) work.
+func (rt *Runtime) Start(entry ID) {
+	rt.state.Put(stPhase, phaseExec)
+	rt.state.Put(stCur, int64(entry))
+	rt.state.Put(stNext, 0)
+	rt.state.Put(stCount, 0)
+}
+
+// Run drives the task graph to completion under the device's power system.
+// It returns mcu.ErrDoesNotComplete if some task cannot finish within the
+// device's energy buffer.
+func (rt *Runtime) Run() error {
+	return rt.dev.Run(func() {
+		// Reboot path: a failure during commit must finish the commit by
+		// replaying the (idempotent) redo log.
+		if rt.dev.Load(rt.state, stPhase) == phaseCommit {
+			rt.replayAndFinish()
+		}
+		for {
+			cur := ID(rt.dev.Load(rt.state, stCur))
+			if cur == Done {
+				return
+			}
+			if int(cur) < 0 || int(cur) >= len(rt.tasks) {
+				panic(fmt.Sprintf("task: invalid task id %d", cur))
+			}
+			// Task prologue: discard any stale log from an interrupted
+			// execution and reset the volatile privatization table.
+			rt.dev.Store(rt.state, stCount, 0)
+			rt.writeSet = make(map[int64]int)
+			next := rt.tasks[cur].f(&Ctx{rt: rt})
+			rt.commit(next)
+		}
+	})
+}
+
+// commit runs the two-phase transition: stage the target, enter commit
+// phase, replay the log to the home locations, then finish.
+func (rt *Runtime) commit(next ID) {
+	dev := rt.dev
+	layer, _ := dev.Section()
+	dev.SetSection(layer, mcu.PhaseTransition)
+	dev.Store(rt.state, stNext, int64(next))
+	dev.Store(rt.state, stPhase, phaseCommit)
+	rt.replayAndFinish()
+}
+
+// replayAndFinish applies every log entry to its home location and
+// completes the transition. It is idempotent: a failure anywhere inside
+// re-enters it on reboot.
+func (rt *Runtime) replayAndFinish() {
+	dev := rt.dev
+	layer, _ := dev.Section()
+	dev.SetSection(layer, mcu.PhaseTransition)
+	n := int(dev.Load(rt.state, stCount))
+	for j := 0; j < n; j++ {
+		addr := dev.Load(rt.log, 2*j)
+		val := dev.Load(rt.log, 2*j+1)
+		region, idx := rt.decode(addr)
+		dev.Store(region, idx, val)
+	}
+	dev.Store(rt.state, stCur, dev.Load(rt.state, stNext))
+	dev.Store(rt.state, stCount, 0)
+	dev.Op(mcu.OpDispatch) // scheduler + two-phase commit bookkeeping
+	dev.Store(rt.state, stPhase, phaseExec)
+	dev.Progress()
+}
+
+// pack encodes a (region, index) pair as a single log address word.
+func (rt *Runtime) pack(region int, idx int) int64 {
+	return int64(region)<<32 | int64(idx)
+}
+
+// decode inverts pack.
+func (rt *Runtime) decode(addr int64) (*mem.Region, int) {
+	return rt.shared[addr>>32], int(addr & 0xffffffff)
+}
+
+// Ctx is the view a task body has of the runtime.
+type Ctx struct {
+	rt *Runtime
+}
+
+// Dev exposes the device for compute operations (multiplies, adds) and for
+// reads of read-only data such as weights, which need no privatization.
+func (c *Ctx) Dev() *mcu.Device { return c.rt.dev }
+
+// Read reads task-shared data, observing the task's own uncommitted writes
+// (read-own-write through the redo log).
+func (c *Ctx) Read(r *mem.Region, i int) int64 {
+	rt := c.rt
+	id, ok := rt.ids[r]
+	if !ok {
+		panic(fmt.Sprintf("task: region %q not registered as task-shared", r.Name))
+	}
+	rt.dev.Op(mcu.OpPrivatize) // dynamic-buffering lookup
+	if slot, ok := rt.writeSet[rt.pack(id, i)]; ok {
+		return rt.dev.Load(rt.log, 2*slot+1)
+	}
+	return rt.dev.Load(r, i)
+}
+
+// Write buffers a task-shared write in the redo log; the home location is
+// only updated at commit.
+func (c *Ctx) Write(r *mem.Region, i int, v int64) {
+	rt := c.rt
+	id, ok := rt.ids[r]
+	if !ok {
+		panic(fmt.Sprintf("task: region %q not registered as task-shared", r.Name))
+	}
+	rt.dev.Op(mcu.OpPrivatize) // dynamic-buffering insertion
+	key := rt.pack(id, i)
+	if slot, ok := rt.writeSet[key]; ok {
+		rt.dev.Store(rt.log, 2*slot+1, v)
+		return
+	}
+	n := int(rt.dev.Load(rt.state, stCount))
+	if n >= rt.cap {
+		panic(fmt.Sprintf("task: redo log overflow (%d entries): task writes too much task-shared data", rt.cap))
+	}
+	rt.dev.Store(rt.log, 2*n, key)
+	rt.dev.Store(rt.log, 2*n+1, v)
+	rt.dev.Store(rt.state, stCount, int64(n+1))
+	rt.writeSet[key] = n
+}
+
+// TaskName returns the registered name of a task (for diagnostics).
+func (rt *Runtime) TaskName(id ID) string {
+	if id == Done {
+		return "done"
+	}
+	return rt.tasks[id].name
+}

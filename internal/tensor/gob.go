@@ -1,0 +1,31 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobTensor is the wire form of a Tensor; the Tensor itself keeps its fields
+// unexported to protect the shape/data invariant.
+type gobTensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tensor) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobTensor{Shape: t.shape, Data: t.data})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tensor) GobDecode(b []byte) error {
+	var g gobTensor
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	t.shape = g.Shape
+	t.data = g.Data
+	return nil
+}

@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a compressed-sparse-row matrix. It is the storage format GENESIS
+// emits for pruned fully-connected layers and the format SONIC's sparse
+// kernels walk on-device: RowPtr has one entry per row plus a terminator,
+// and Cols/Vals hold the column index and value of each retained weight.
+type CSR struct {
+	Rows, ColsN int
+	RowPtr      []int32
+	Cols        []int32
+	Vals        []float64
+}
+
+// NewCSR builds a CSR matrix from a dense 2-D tensor, dropping entries with
+// |v| <= eps.
+func NewCSR(dense *Tensor, eps float64) *CSR {
+	if dense.Dims() != 2 {
+		panic("tensor: NewCSR requires a 2-D tensor")
+	}
+	m, n := dense.Dim(0), dense.Dim(1)
+	c := &CSR{Rows: m, ColsN: n, RowPtr: make([]int32, m+1)}
+	for i := 0; i < m; i++ {
+		row := dense.Data()[i*n : (i+1)*n]
+		for j, v := range row {
+			if math.Abs(v) > eps {
+				c.Cols = append(c.Cols, int32(j))
+				c.Vals = append(c.Vals, v)
+			}
+		}
+		c.RowPtr[i+1] = int32(len(c.Vals))
+	}
+	return c
+}
+
+// NNZ returns the number of stored (nonzero) entries.
+func (c *CSR) NNZ() int { return len(c.Vals) }
+
+// Density returns NNZ divided by the full matrix volume.
+func (c *CSR) Density() float64 {
+	if c.Rows == 0 || c.ColsN == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / float64(c.Rows*c.ColsN)
+}
+
+// Dense expands the CSR matrix back into a dense tensor.
+func (c *CSR) Dense() *Tensor {
+	out := New(c.Rows, c.ColsN)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			out.Set(c.Vals[p], i, int(c.Cols[p]))
+		}
+	}
+	return out
+}
+
+// MatVec returns c*x.
+func (c *CSR) MatVec(x []float64) []float64 {
+	if len(x) != c.ColsN {
+		panic(fmt.Sprintf("tensor: CSR MatVec length mismatch: %d vs %d", len(x), c.ColsN))
+	}
+	out := make([]float64, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		s := 0.0
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			s += c.Vals[p] * x[c.Cols[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Row returns the column indices and values of row i. The slices alias the
+// CSR storage and must not be modified.
+func (c *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+	return c.Cols[lo:hi], c.Vals[lo:hi]
+}

@@ -1,0 +1,244 @@
+// Package repro is a full reimplementation, in pure Go, of "Intelligence
+// Beyond the Edge: Inference on Intermittent Embedded Systems" (Gobieski,
+// Lucia & Beckmann, ASPLOS 2019): the SONIC and TAILS intermittent DNN
+// inference runtimes, the GENESIS network compression tool, the IMpJ
+// application-performance model, and the entire substrate they need — an
+// energy- and cycle-accurate model of an MSP430-class energy-harvesting
+// device (FRAM/SRAM, capacitor-buffered power, LEA vector accelerator,
+// DMA), an Alpaca-style task-based intermittent runtime as the baseline, a
+// small DNN training library, and synthetic datasets standing in for
+// MNIST, HAR, and keyword spotting.
+//
+// This package is the public facade. The typical flow mirrors Fig. 3 of
+// the paper:
+//
+//	model, _ := repro.TrainAndCompress("har", repro.QuickOptions("har")) // GENESIS
+//	dev := repro.NewDevice(repro.Intermittent100uF())                    // the MCU
+//	img, _ := repro.Deploy(dev, model)                                   // flash it
+//	logits, _ := repro.SONIC().Infer(img, model.QuantizeInput(sample))   // intermittence-safe inference
+//	class := repro.Argmax(logits)
+//
+// Every inference implementation produces the continuous-power result
+// under any power schedule (bit-exactly for the software runtimes), or
+// reports that it cannot complete on the given power system — the naive
+// baseline does exactly that.
+package repro
+
+import (
+	"repro/internal/app"
+	"repro/internal/baseline"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/genesis"
+	"repro/internal/harness"
+	"repro/internal/imodel"
+	"repro/internal/mcu"
+	"repro/internal/sonic"
+	"repro/internal/tails"
+)
+
+// Re-exported types. The implementation lives in internal packages; these
+// aliases are the supported public names.
+type (
+	// Device is the simulated intermittently-powered MCU.
+	Device = mcu.Device
+	// Stats is the device's time/energy/reboot accounting.
+	Stats = mcu.Stats
+	// PowerSystem supplies (possibly intermittent) energy to a device.
+	PowerSystem = energy.System
+	// Capacitor is an energy buffer defined by capacitance and thresholds.
+	Capacitor = energy.Capacitor
+	// QuantModel is a quantized, deployable network.
+	QuantModel = dnn.QuantModel
+	// Network is a float network under training.
+	Network = dnn.Network
+	// Image is a model deployed into device FRAM.
+	Image = core.Image
+	// Runtime is an inference implementation (Base, Tile, SONIC, TAILS).
+	Runtime = core.Runtime
+	// Q15 is the device's saturating 16-bit fixed-point type.
+	Q15 = fixed.Q15
+	// GenesisOptions configures a GENESIS compression sweep.
+	GenesisOptions = genesis.Options
+	// GenesisReport is the outcome of a GENESIS sweep.
+	GenesisReport = genesis.Report
+	// AppModel holds the IMpJ application-model parameters (Table 1).
+	AppModel = imodel.Params
+	// Table is a rendered experiment result.
+	Table = harness.Table
+	// Dataset is a synthetic labelled train/test split.
+	Dataset = dataset.Dataset
+	// Example is one labelled sample.
+	Example = dataset.Example
+	// Pipeline is a deployed sense-infer-communicate application (§3).
+	Pipeline = app.Pipeline
+	// PipelineConfig configures a Pipeline.
+	PipelineConfig = app.Config
+	// Tally is a Pipeline run's outcome.
+	Tally = app.Tally
+	// Event is one sensor reading with ground truth.
+	Event = app.Event
+	// EventSource produces the event stream for a Pipeline.
+	EventSource = app.Source
+)
+
+// Runtimes.
+
+// SONIC returns the paper's software-only intermittence-safe runtime (§6).
+func SONIC() Runtime { return sonic.SONIC{} }
+
+// TAILS returns the LEA/DMA-accelerated runtime (§7).
+func TAILS() Runtime { return tails.TAILS{} }
+
+// Base returns the unprotected baseline: fast, but unable to complete on
+// power systems whose buffer is smaller than a whole inference.
+func Base() Runtime { return baseline.Base{} }
+
+// Tile returns an Alpaca-style task-tiled implementation with k loop
+// iterations per task (the paper evaluates 8, 32, and 128).
+func Tile(k int) Runtime { return baseline.Tile{TileSize: k} }
+
+// Checkpointing returns a Mementos/DINO-style periodic-checkpointing
+// implementation with k loop iterations between checkpoints — the other
+// class of prior intermittence support the paper compares against (§2.1).
+func Checkpointing(k int) Runtime { return checkpoint.Checkpoint{Interval: k} }
+
+// Power systems.
+
+// ContinuousPower returns mains-like power that never fails.
+func ContinuousPower() PowerSystem { return energy.Continuous{} }
+
+// IntermittentRF returns an RF-harvesting power system with the given
+// capacitor bank (see Cap100uF, Cap1mF, Cap50mF).
+func IntermittentRF(c Capacitor) PowerSystem {
+	return energy.NewIntermittent(c, energy.ConstantHarvester{Watts: energy.DefaultRFWatts})
+}
+
+// Intermittent100uF returns the paper's smallest evaluated power system.
+func Intermittent100uF() PowerSystem { return IntermittentRF(energy.Cap100uF) }
+
+// The paper's capacitor banks.
+var (
+	Cap100uF = energy.Cap100uF
+	Cap1mF   = energy.Cap1mF
+	Cap50mF  = energy.Cap50mF
+)
+
+// Device and deployment.
+
+// NewDevice returns a simulated MSP430FR5994-class device on the given
+// power system.
+func NewDevice(p PowerSystem) *Device { return mcu.New(p) }
+
+// Deploy places a quantized model into the device's FRAM. It fails if the
+// model does not fit — GENESIS's feasibility condition.
+func Deploy(dev *Device, m *QuantModel) (*Image, error) { return core.Deploy(dev, m) }
+
+// Argmax returns the index of the largest logit.
+func Argmax(logits []Q15) int { return core.Argmax(logits) }
+
+// Training and compression.
+
+// Networks lists the three evaluation networks: "mnist", "har", "okg".
+func Networks() []string { return harness.Networks() }
+
+// NewDataset generates the synthetic dataset for a network name.
+func NewDataset(name string, seed uint64, trainN, testN int) (*Dataset, error) {
+	return dnn.DatasetFor(name, seed, trainN, testN)
+}
+
+// ClassNames returns human-readable class names for a dataset name
+// ("digits", "har", "okg"), or nil.
+func ClassNames(name string) []string { return dataset.ClassNames(name) }
+
+// TrainNetwork trains the named reference network on its synthetic dataset
+// and returns it with the dataset's measured test accuracy.
+func TrainNetwork(name string, seed uint64, trainN, testN, epochs int) (*Network, float64, error) {
+	ds, err := dnn.DatasetFor(name, seed, trainN, testN)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := dnn.NetworkFor(name, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	dnn.Train(n, ds, cfg)
+	return n, dnn.Evaluate(n, ds.Test), nil
+}
+
+// DefaultGenesisOptions returns the standard sweep for a network.
+func DefaultGenesisOptions(network string) GenesisOptions {
+	return genesis.DefaultOptions(network)
+}
+
+// QuickOptions returns a small-budget sweep suitable for demos and tests.
+func QuickOptions(network string) GenesisOptions {
+	o := genesis.DefaultOptions(network)
+	o.TrainSamples, o.TestSamples = 360, 90
+	o.Epochs, o.FineTuneEpochs = 2, 1
+	o.MaxSamplesPerEpoch = 240
+	o.PruneLevels = []float64{0.75, 0.9}
+	o.RankFracs = []float64{0.5}
+	return o
+}
+
+// Genesis runs the full GENESIS sweep and returns its report.
+func Genesis(opts GenesisOptions) (*GenesisReport, error) { return genesis.Run(opts) }
+
+// GenesisPerLayer runs the grid sweep and then greedily refines the chosen
+// configuration with per-layer pruning/separation moves, as the paper's
+// per-layer parameter sweep does. It returns the grid report and the
+// refined result.
+func GenesisPerLayer(opts GenesisOptions) (*GenesisReport, *genesis.PerLayerResult, error) {
+	return genesis.RunPerLayer(opts)
+}
+
+// TrainAndCompress runs GENESIS and returns the chosen deployable model.
+func TrainAndCompress(network string, opts GenesisOptions) (*QuantModel, error) {
+	opts.Network = network
+	rep, err := genesis.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	chosen := rep.ChosenResult()
+	if chosen == nil {
+		return nil, errNoFeasible(network)
+	}
+	return chosen.Model, nil
+}
+
+// Application model (§3).
+
+// NewPipeline deploys a model into an end-to-end sensing application: the
+// device senses, infers locally, and communicates interesting results,
+// all drawn from one harvested-energy ledger (§3).
+func NewPipeline(dev *Device, m *QuantModel, cfg PipelineConfig) (*Pipeline, error) {
+	return app.New(dev, m, cfg)
+}
+
+// WildlifeModel returns the wildlife-monitoring case-study parameters.
+func WildlifeModel() AppModel { return imodel.WildlifeDefaults() }
+
+// IMpJ evaluates Eq. 3: interesting messages per Joule with local
+// inference.
+func IMpJ(p AppModel) float64 { return imodel.Inference(p) }
+
+// IMpJBaseline evaluates Eq. 1 (no local inference, send everything).
+func IMpJBaseline(p AppModel) float64 { return imodel.Baseline(p) }
+
+// IMpJIdeal evaluates Eq. 2 (oracle filtering).
+func IMpJIdeal(p AppModel) float64 { return imodel.Ideal(p) }
+
+// errNoFeasible is a tiny local error type to keep the facade stdlib-only.
+type errNoFeasible string
+
+func (e errNoFeasible) Error() string {
+	return "repro: GENESIS found no feasible configuration for " + string(e)
+}

@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/dnn"
+	"repro/internal/mcu"
+)
+
+// compressOnce caches one GENESIS run for the facade tests.
+var (
+	once  sync.Once
+	model *repro.QuantModel
+	mErr  error
+)
+
+func quickModel(t testing.TB) *repro.QuantModel {
+	t.Helper()
+	once.Do(func() {
+		model, mErr = repro.TrainAndCompress("har", repro.QuickOptions("har"))
+	})
+	if mErr != nil {
+		t.Fatal(mErr)
+	}
+	return model
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	m := quickModel(t)
+	ds, err := dnn.DatasetFor("har", 2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev := repro.NewDevice(repro.Intermittent100uF())
+	img, err := repro.Deploy(dev, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range ds.Test {
+		logits, err := repro.SONIC().Infer(img, m.QuantizeInput(ex.X))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repro.Argmax(logits) == ex.Label {
+			correct++
+		}
+	}
+	if correct < len(ds.Test)/2 {
+		t.Errorf("SONIC on 100uF classified %d/%d", correct, len(ds.Test))
+	}
+	if dev.Stats().Reboots == 0 {
+		t.Error("intermittent inference should have rebooted")
+	}
+}
+
+func TestBaseFailsWhereSONICSucceeds(t *testing.T) {
+	m := quickModel(t)
+	ds, _ := dnn.DatasetFor("har", 2, 1, 1)
+	x := m.QuantizeInput(ds.Test[0].X)
+
+	devB := repro.NewDevice(repro.Intermittent100uF())
+	imgB, err := repro.Deploy(devB, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.Base().Infer(imgB, x); !errors.Is(err, mcu.ErrDoesNotComplete) {
+		t.Errorf("base should not complete on 100uF: %v", err)
+	}
+
+	devS := repro.NewDevice(repro.Intermittent100uF())
+	imgS, err := repro.Deploy(devS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.SONIC().Infer(imgS, x); err != nil {
+		t.Errorf("SONIC must complete: %v", err)
+	}
+}
+
+func TestRuntimeNames(t *testing.T) {
+	if repro.SONIC().Name() != "sonic" || repro.TAILS().Name() != "tails" ||
+		repro.Base().Name() != "base" || repro.Tile(32).Name() != "tile-32" {
+		t.Error("runtime names wrong")
+	}
+}
+
+func TestTrainNetworkFacade(t *testing.T) {
+	n, acc, err := repro.TrainNetwork("har", 1, 240, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Errorf("accuracy %v too low", acc)
+	}
+	if n.MACs() == 0 {
+		t.Error("network should have MACs")
+	}
+}
+
+func TestAppModelFacade(t *testing.T) {
+	p := repro.WildlifeModel()
+	p.TP, p.TN, p.EInfer = 0.95, 0.95, 0.03
+	if !(repro.IMpJBaseline(p) < repro.IMpJ(p) && repro.IMpJ(p) < repro.IMpJIdeal(p)) {
+		t.Error("IMpJ ordering wrong: baseline < inference < ideal expected")
+	}
+}
+
+func TestCapacitorExports(t *testing.T) {
+	if repro.Cap1mF.UsableNJ() <= repro.Cap100uF.UsableNJ() {
+		t.Error("capacitor ordering wrong")
+	}
+	if len(repro.Networks()) != 3 {
+		t.Error("three networks expected")
+	}
+}
