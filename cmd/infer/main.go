@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/sonic"
 	"repro/internal/tails"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -31,11 +33,23 @@ func main() {
 		modelPath = flag.String("model", "", "quantized model file (from cmd/genesis)")
 		net       = flag.String("net", "har", "network/dataset if no -model given")
 		rtName    = flag.String("runtime", "sonic", "base, tile-8, tile-32, tile-128, sonic, tails")
-		pwName    = flag.String("power", "100uF", "cont, 50mF, 1mF, 100uF")
-		n         = flag.Int("n", 5, "number of test samples to classify")
-		seed      = flag.Uint64("seed", 2, "dataset seed for test samples")
+		pwName    = flag.String("power", "100uF",
+			"cont, 50mF, 1mF, 100uF, stoch-100uF, stoch-1mF, solar-100uF")
+		n           = flag.Int("n", 5, "number of test samples to classify")
+		seed        = flag.Uint64("seed", 2, "dataset seed for test samples")
+		harvestSeed = flag.Uint64("harvest-seed", 1, "harvester RNG seed for the stochastic power systems")
+		tracePath   = flag.String("trace", "", "write an execution trace here (.csv, else Chrome/Perfetto JSON)")
 	)
 	flag.Parse()
+
+	if *tracePath != "" {
+		// Fail on an unwritable path now, not after the simulation.
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
 
 	var qm *dnn.QuantModel
 	var err error
@@ -58,7 +72,7 @@ func main() {
 	if rt == nil {
 		fail(fmt.Errorf("unknown runtime %q", *rtName))
 	}
-	pw := powerByName(*pwName)
+	pw := powerByName(*pwName, *harvestSeed)
 	if pw == nil {
 		fail(fmt.Errorf("unknown power system %q", *pwName))
 	}
@@ -68,6 +82,11 @@ func main() {
 		fail(err)
 	}
 	dev := mcu.New(pw())
+	var buf *trace.Buffer
+	if *tracePath != "" {
+		buf = trace.NewBuffer(0)
+		dev.SetTracer(buf)
+	}
 	img, err := core.Deploy(dev, qm)
 	if err != nil {
 		fail(err)
@@ -82,6 +101,8 @@ func main() {
 		logits, err := rt.Infer(img, qm.QuantizeInput(ex.X))
 		if err != nil {
 			fmt.Printf("sample %d: %v\n", i, err)
+			// Dump the trace anyway: failed runs are the interesting ones.
+			dumpTrace(buf, *tracePath, dev)
 			os.Exit(2)
 		}
 		st := dev.Stats()
@@ -101,6 +122,44 @@ func main() {
 		correct, len(ds.Test),
 		dev.Stats().LiveSeconds(dev.Cost.ClockHz), dev.Stats().DeadSeconds,
 		dev.Stats().Reboots, dev.Stats().EnergyMJ())
+
+	dumpTrace(buf, *tracePath, dev)
+}
+
+// dumpTrace exports the buffered trace and prints the wasted-work
+// timeline; no-op when tracing is off.
+func dumpTrace(buf *trace.Buffer, path string, dev *mcu.Device) {
+	if buf == nil {
+		return
+	}
+	dev.FlushTrace()
+	if err := writeTrace(path, buf, dev); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ntrace: %d events written to %s\n", buf.Len(), path)
+	if err := trace.WriteTimeline(os.Stdout, buf.Analysis()); err != nil {
+		fail(err)
+	}
+}
+
+// writeTrace exports the trace by file extension: .csv rows, otherwise
+// Chrome trace-event JSON for Perfetto (with a voltage counter track when
+// the power system is capacitor-buffered).
+func writeTrace(path string, buf *trace.Buffer, dev *mcu.Device) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return trace.WriteCSV(f, buf.Events(), dev.Cost.ClockHz)
+	}
+	opts := trace.ChromeOptions{ClockHz: dev.Cost.ClockHz}
+	if ip, ok := dev.Power.(*energy.Intermittent); ok {
+		c := ip.Cap
+		opts.Capacitor = &c
+	}
+	return trace.WriteChrome(f, buf.Events(), opts)
 }
 
 func runtimeByName(name string) core.Runtime {
@@ -121,8 +180,8 @@ func runtimeByName(name string) core.Runtime {
 	return nil
 }
 
-func powerByName(name string) func() energy.System {
-	for _, p := range harness.Powers() {
+func powerByName(name string, harvestSeed uint64) func() energy.System {
+	for _, p := range append(harness.Powers(), harness.StochasticPowers(harvestSeed)...) {
 		if p.Name == name {
 			return p.Make
 		}

@@ -40,6 +40,7 @@ func (Base) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 		return nil, err
 	}
 	dev := img.Dev
+	dev.Emit(mcu.TraceRunBegin, "base", 0)
 	var outB bool
 	err := dev.Run(func() {
 		parity := false // input in ActA
@@ -51,6 +52,7 @@ func (Base) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err != nil {
 		return nil, err
 	}
+	dev.FlushTrace()
 	return img.ReadOutput(outB), nil
 }
 

@@ -70,10 +70,12 @@ func (t Tile) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err != nil {
 		return nil, err
 	}
+	img.Dev.Emit(mcu.TraceRunBegin, t.Name(), int64(t.TileSize))
 	rt.Start(0)
 	if err := rt.Run(); err != nil {
 		return nil, err
 	}
+	img.Dev.FlushTrace()
 	return img.ReadOutput(outB), nil
 }
 

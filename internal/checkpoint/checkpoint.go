@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fixed"
+	"repro/internal/mcu"
 	"repro/internal/sonic"
 )
 
@@ -59,6 +60,7 @@ func (c Checkpoint) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, erro
 		reg = DefaultRegWords
 	}
 	e := &sonic.Exec{Img: img, Dev: img.Dev, Every: c.Interval, RegWords: reg}
+	e.Dev.Emit(mcu.TraceRunBegin, c.Name(), int64(c.Interval))
 	if err := e.Dev.Run(func() {
 		e.ResetVolatile()
 		e.Run(func(s *sonic.Exec, li int, parity bool, start sonic.Cursor) {
@@ -67,5 +69,6 @@ func (c Checkpoint) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, erro
 	}); err != nil {
 		return nil, err
 	}
+	e.Dev.FlushTrace()
 	return img.ReadOutput(sonic.FinalParity(img.Model)), nil
 }

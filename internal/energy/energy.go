@@ -107,9 +107,21 @@ type StochasticHarvester struct {
 	rng   *rand.Rand
 }
 
-// NewStochasticHarvester returns a seeded stochastic harvester.
+// mixSeed derives the second PCG state word from the caller's seed
+// (SplitMix64 finalizer). Both RNG words come from the one seed callers
+// plumb down — e.g. from harness.PowerSpec and the CLI — so a run is
+// reproducible from that single value, with no hidden stream constants.
+func mixSeed(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewStochasticHarvester returns a seeded stochastic harvester. The seed
+// fully determines the power sequence.
 func NewStochasticHarvester(mean, sigma float64, seed uint64) *StochasticHarvester {
-	return &StochasticHarvester{Mean: mean, Sigma: sigma, rng: rand.New(rand.NewPCG(seed, 0xe4))}
+	return &StochasticHarvester{Mean: mean, Sigma: sigma, rng: rand.New(rand.NewPCG(seed, mixSeed(seed)))}
 }
 
 // PowerW samples the harvest power for one charge cycle.
@@ -127,9 +139,10 @@ type SolarHarvester struct {
 	rng  *rand.Rand
 }
 
-// NewSolarHarvester returns a seeded solar harvester.
+// NewSolarHarvester returns a seeded solar harvester. The seed fully
+// determines the power sequence.
 func NewSolarHarvester(peak float64, seed uint64) *SolarHarvester {
-	return &SolarHarvester{Peak: peak, rng: rand.New(rand.NewPCG(seed, 0x501a))}
+	return &SolarHarvester{Peak: peak, rng: rand.New(rand.NewPCG(seed, mixSeed(^seed)))}
 }
 
 // PowerW samples the harvest power at a random time of day (clamped to a
@@ -178,6 +191,10 @@ func (p *Intermittent) Recharge() float64 {
 
 // BufferEnergy returns the usable energy per charge in nJ.
 func (p *Intermittent) BufferEnergy() float64 { return p.Cap.UsableNJ() }
+
+// LevelNJ reports the remaining buffered energy; the tracing subsystem
+// samples it to render the sawtooth voltage/energy track of Fig. 6.
+func (p *Intermittent) LevelNJ() float64 { return math.Max(p.remaining, 0) }
 
 // Reset refills the capacitor.
 func (p *Intermittent) Reset() { p.remaining = p.Cap.UsableNJ() }
@@ -317,6 +334,9 @@ func (r *Recorder) Recharge() float64 {
 
 // BufferEnergy forwards to the wrapped system.
 func (r *Recorder) BufferEnergy() float64 { return r.Inner.BufferEnergy() }
+
+// LevelNJ forwards to the wrapped system.
+func (r *Recorder) LevelNJ() float64 { return r.Inner.LevelNJ() }
 
 // Reset forwards and clears the trace.
 func (r *Recorder) Reset() {

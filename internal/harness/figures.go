@@ -168,7 +168,11 @@ func Fig5(p *Prepared) *Table {
 type Eval struct {
 	Prepared []*Prepared
 	Results  []RunResult
+
+	index map[cellKey]int // lazily built by Find
 }
+
+type cellKey struct{ net, rt, power string }
 
 // RunAll measures every runtime on every power system for every prepared
 // network. Cells are independent simulated devices, so they run in
@@ -199,7 +203,7 @@ func RunAll(prepared []*Prepared) (*Eval, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			input := c.p.Model.QuantizeInput(c.p.Input)
-			ev.Results[i], errs[i] = Measure(c.p.Net, c.p.Model, c.rt, c.pw, input)
+			ev.Results[i], _, errs[i] = MeasureTraced(c.p.Net, c.p.Model, c.rt, c.pw, input, nil)
 		}(i, c)
 	}
 	wg.Wait()
@@ -211,29 +215,41 @@ func RunAll(prepared []*Prepared) (*Eval, error) {
 	return ev, nil
 }
 
-// Find returns the cell for (net, runtime, power), or nil.
+// Find returns the cell for (net, runtime, power), or nil. The lookup
+// index is built on first use; figures call Find once per rendered row,
+// so the linear scan it replaces was quadratic in the result count.
 func (ev *Eval) Find(net, rt, power string) *RunResult {
-	for i := range ev.Results {
-		r := &ev.Results[i]
-		if r.Net == net && r.Runtime == rt && r.Power == power {
-			return r
+	if ev.index == nil {
+		ev.index = make(map[cellKey]int, len(ev.Results))
+		for i := range ev.Results {
+			r := &ev.Results[i]
+			ev.index[cellKey{r.Net, r.Runtime, r.Power}] = i
 		}
 	}
-	return nil
+	i, ok := ev.index[cellKey{net, rt, power}]
+	if !ok {
+		return nil
+	}
+	return &ev.Results[i]
 }
 
 // Fig9 renders inference time for every implementation: continuous power
 // (9a), the 100 µF system (9b), and the full power-system sweep (9c).
 func Fig9(ev *Eval) *Table {
 	t := &Table{Title: "Fig 9: inference time (s) by implementation and power system",
-		Header: []string{"network", "runtime", "power", "status", "live-s", "steady-s", "reboots", "energy-mJ"}}
-	t.Note = "steady-s amortizes recharge time (energy / harvest power); DNC = does not complete."
+		Header: []string{"network", "runtime", "power", "status", "live-s", "steady-s", "reboots", "energy-mJ", "wasted-uJ/cycle"}}
+	t.Note = "steady-s amortizes recharge time (energy / harvest power); DNC = does not complete;\n" +
+		"wasted-uJ/cycle is the mean re-executed energy per charge cycle (traced)."
 	for _, r := range ev.Results {
 		status := "ok"
 		if !r.Completed {
 			status = "DNC"
 		}
-		t.AddRow(r.Net, r.Runtime, r.Power, status, r.LiveSec, r.SteadySec, r.Reboots, r.EnergyMJ)
+		wasted := 0.0
+		if r.Reboots > 0 {
+			wasted = r.WastedEnergyNJ / float64(r.Reboots) / 1e3
+		}
+		t.AddRow(r.Net, r.Runtime, r.Power, status, r.LiveSec, r.SteadySec, r.Reboots, r.EnergyMJ, wasted)
 	}
 	return t
 }

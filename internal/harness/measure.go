@@ -12,27 +12,54 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/sonic"
 	"repro/internal/tails"
+	"repro/internal/trace"
 )
 
-// PowerSpec names a power system and builds fresh instances of it.
+// PowerSpec names a power system and builds fresh instances of it. Seed
+// feeds the harvester RNG of stochastic systems; deterministic systems
+// ignore it, so the zero value is fine for the paper's RF bank.
 type PowerSpec struct {
 	Name string
-	Make func() energy.System
+	Seed uint64
+	New  func(seed uint64) energy.System
 }
+
+// Make builds a fresh instance of the power system from the spec's seed.
+func (p PowerSpec) Make() energy.System { return p.New(p.Seed) }
 
 // Powers returns the paper's four power systems (§8): continuous, and RF
 // harvesting with 50 mF, 1 mF, and 100 µF capacitor banks.
 func Powers() []PowerSpec {
-	rf := func(c energy.Capacitor) func() energy.System {
-		return func() energy.System {
+	rf := func(c energy.Capacitor) func(uint64) energy.System {
+		return func(uint64) energy.System {
 			return energy.NewIntermittent(c, energy.ConstantHarvester{Watts: energy.DefaultRFWatts})
 		}
 	}
 	return []PowerSpec{
-		{Name: "cont", Make: func() energy.System { return energy.Continuous{} }},
-		{Name: "50mF", Make: rf(energy.Cap50mF)},
-		{Name: "1mF", Make: rf(energy.Cap1mF)},
-		{Name: "100uF", Make: rf(energy.Cap100uF)},
+		{Name: "cont", New: func(uint64) energy.System { return energy.Continuous{} }},
+		{Name: "50mF", New: rf(energy.Cap50mF)},
+		{Name: "1mF", New: rf(energy.Cap1mF)},
+		{Name: "100uF", New: rf(energy.Cap100uF)},
+	}
+}
+
+// StochasticPowers returns variable-harvest power systems whose RNG
+// sequences are fully determined by seed, so stochastic runs — and their
+// traces — reproduce from one CLI value: a lognormally-varying RF
+// harvester on the 100 µF and 1 mF banks, and a diurnal solar harvester
+// on the 100 µF bank.
+func StochasticPowers(seed uint64) []PowerSpec {
+	stoch := func(c energy.Capacitor) func(uint64) energy.System {
+		return func(s uint64) energy.System {
+			return energy.NewIntermittent(c, energy.NewStochasticHarvester(energy.DefaultRFWatts, 0.4, s))
+		}
+	}
+	return []PowerSpec{
+		{Name: "stoch-100uF", Seed: seed, New: stoch(energy.Cap100uF)},
+		{Name: "stoch-1mF", Seed: seed, New: stoch(energy.Cap1mF)},
+		{Name: "solar-100uF", Seed: seed, New: func(s uint64) energy.System {
+			return energy.NewIntermittent(energy.Cap100uF, energy.NewSolarHarvester(5e-3, s))
+		}},
 	}
 }
 
@@ -61,6 +88,13 @@ type RunResult struct {
 	Reboots   int
 	Predicted int
 
+	// Wasted-work aggregates, filled only by MeasureTraced: durable
+	// commits observed, and the re-executed cycles/energy between each
+	// charge cycle's last commit and its brown-out.
+	Commits        int
+	WastedCycles   int64
+	WastedEnergyNJ float64
+
 	Sections map[mcu.Section]*mcu.SectionStats
 	OpEnergy [mcu.NumOps]float64
 	OpCount  [mcu.NumOps]int64
@@ -77,12 +111,39 @@ type RunResult struct {
 // inferences — so the steady-state figure is what the paper's repeated
 // measurements observe. For continuous power SteadySec equals live time.
 func Measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec, input []fixed.Q15) (RunResult, error) {
+	return measure(net, qm, rt, p, input, nil)
+}
+
+// MeasureTraced is Measure with execution tracing enabled: events are
+// recorded into buf (a fresh small ring if nil) and the run's wasted-work
+// analysis fills the RunResult's Commits/Wasted* fields. The returned
+// Analysis gives the full per-charge-cycle breakdown; its aggregates are
+// exact even when the ring overwrote old events.
+func MeasureTraced(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
+	input []fixed.Q15, buf *trace.Buffer) (RunResult, *trace.Analysis, error) {
+	if buf == nil {
+		buf = trace.NewBuffer(4096)
+	}
+	res, err := measure(net, qm, rt, p, input, buf)
+	a := buf.Analysis()
+	res.Commits = a.Commits
+	res.WastedCycles = a.TotalWastedCycles
+	res.WastedEnergyNJ = a.TotalWastedEnergyNJ
+	return res, a, err
+}
+
+func measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
+	input []fixed.Q15, tracer *trace.Buffer) (RunResult, error) {
 	dev := mcu.New(p.Make())
+	if tracer != nil {
+		dev.SetTracer(tracer)
+	}
 	img, err := core.Deploy(dev, qm)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("harness: deploy %s: %w", net, err)
 	}
 	logits, ierr := rt.Infer(img, input)
+	dev.FlushTrace() // runtimes flush on success; cover the DNC path too
 	res := RunResult{Net: net, Runtime: rt.Name(), Power: p.Name, ClockHz: dev.Cost.ClockHz}
 	st := dev.Stats()
 	res.LiveSec = st.LiveSeconds(dev.Cost.ClockHz)

@@ -1,0 +1,48 @@
+package mcu
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// BenchmarkDeviceOp measures the untraced operation hot path — the cost
+// every simulated instruction pays. The tracing subsystem must keep this
+// within ~2% of the pre-trace baseline (its disabled path is a single
+// nil-check branch).
+func BenchmarkDeviceOp(b *testing.B) {
+	dev := New(energy.Continuous{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dev.Op(OpFixedMul)
+	}
+}
+
+// BenchmarkDeviceLoadStore measures the untraced memory-access path.
+func BenchmarkDeviceLoadStore(b *testing.B) {
+	dev := New(energy.Continuous{})
+	r := dev.FRAM.MustAlloc("bench", 64, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dev.Store(r, i&63, int64(i))
+		_ = dev.Load(r, i&63)
+	}
+}
+
+// countingTracer is the cheapest possible consumer, isolating the
+// device-side emit cost.
+type countingTracer struct{ n int }
+
+func (t *countingTracer) TraceEvent(TraceEvent) { t.n++ }
+
+// BenchmarkDeviceOpTraced measures the operation path with tracing
+// enabled: the per-op cost is a counter increment, with one op-batch
+// event every opBatchMax operations.
+func BenchmarkDeviceOpTraced(b *testing.B) {
+	dev := New(energy.Continuous{})
+	dev.SetTracer(&countingTracer{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dev.Op(OpFixedMul)
+	}
+}

@@ -91,6 +91,13 @@ type Device struct {
 	section  Section
 	secStats *SectionStats
 
+	// Tracing state: tracer is the nil-checked event consumer, levelFn the
+	// cached energy-buffer sampler, batchOps the plain-operation count
+	// aggregated since the last emitted event (see trace.go).
+	tracer   Tracer
+	levelFn  func() float64
+	batchOps int
+
 	rebootsSinceProgress int
 	inAttempt            bool
 }
@@ -118,10 +125,20 @@ func (d *Device) ResetStats() {
 }
 
 // SetSection changes the attribution label for subsequent operations.
+// When tracing, a layer-label change flushes the pending op batch and
+// emits layer-end/layer-begin events (phase-only changes do not, keeping
+// the event stream proportional to layer transitions, not iterations).
 func (d *Device) SetSection(layer string, phase Phase) {
 	sec := Section{Layer: layer, Phase: phase}
 	if sec == d.section && d.secStats != nil {
 		return
+	}
+	if d.tracer != nil && layer != d.section.Layer {
+		d.flushOpBatch()
+		if d.secStats != nil { // skip the end event for the initial boot section
+			d.emit(TraceLayerEnd, d.section.Layer, 0)
+		}
+		d.emit(TraceLayerBegin, layer, 0)
 	}
 	d.section = sec
 	ss, ok := d.stats.Sections[sec]
@@ -141,6 +158,10 @@ func (d *Device) Section() (string, Phase) { return d.section.Layer, d.section.P
 func (d *Device) Op(k OpKind) {
 	c := &d.Cost.Costs[k]
 	if !d.Power.Consume(c.EnergyNJ) {
+		if d.tracer != nil {
+			d.flushOpBatch()
+			d.emit(TraceBrownOut, d.section.Layer, int64(k))
+		}
 		panic(powerFailure{})
 	}
 	d.stats.LiveCycles += int64(c.Cycles)
@@ -151,6 +172,12 @@ func (d *Device) Op(k OpKind) {
 	d.secStats.EnergyNJ += c.EnergyNJ
 	d.secStats.OpCount[k]++
 	d.secStats.OpEnergy[k] += c.EnergyNJ
+	if d.tracer != nil {
+		d.batchOps++
+		if d.batchOps >= opBatchMax {
+			d.flushOpBatch()
+		}
+	}
 }
 
 // Ops charges n operations of kind k one at a time, so a power failure can
@@ -206,8 +233,16 @@ func (d *Device) StoreIndex(r *mem.Region, i int, v int64) {
 
 // Progress records that the running program committed durable work. The
 // non-termination detector resets; programs that fail to call this across
-// several whole charge cycles are declared non-terminating.
-func (d *Device) Progress() { d.rebootsSinceProgress = 0 }
+// several whole charge cycles are declared non-terminating. Every runtime
+// calls this exactly at its durable-progress points, so it doubles as the
+// uniform commit-event emitter for wasted-work analysis.
+func (d *Device) Progress() {
+	d.rebootsSinceProgress = 0
+	if d.tracer != nil {
+		d.flushOpBatch()
+		d.emit(TraceCommit, d.section.Layer, 0)
+	}
+}
 
 // Attempt runs f, converting a brown-out into a normal return.
 // It returns true if f ran to completion, false if power failed.
@@ -236,7 +271,9 @@ func (d *Device) Attempt(f func()) (completed bool) {
 func (d *Device) Reboot() error {
 	d.SRAM.ClearVolatile()
 	d.stats.Reboots++
+	d.Emit(TraceReboot, "", int64(d.stats.Reboots))
 	d.stats.DeadSeconds += d.Power.Recharge()
+	d.Emit(TraceRechargeDone, "", 0)
 	d.rebootsSinceProgress++
 	if d.rebootsSinceProgress > maxRebootsWithoutProgress {
 		return ErrDoesNotComplete

@@ -24,6 +24,7 @@ import (
 // a power failure mid-transfer leaves a partial destination, exactly the
 // hazard loop-ordered buffering exists to tolerate.
 func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int) {
+	d.Emit(TraceDMA, dst.Name, int64(n))
 	d.Op(OpDMASetup)
 	for i := 0; i < n; i++ {
 		d.Op(OpDMAWord)
@@ -54,6 +55,7 @@ func (d *Device) LEAMacV(x *mem.Region, xOff int, y *mem.Region, yOff, n int) fi
 	checkLEAOperand("x", x)
 	checkLEAOperand("y", y)
 	checkLEAFootprint(2 * n)
+	d.Emit(TraceLEA, "macv", int64(n))
 	d.Op(OpLEAInvoke)
 	var acc fixed.Acc
 	for i := 0; i < n; i++ {
@@ -77,6 +79,7 @@ func (d *Device) LEAFIR(out *mem.Region, outOff int, in *mem.Region, inOff int,
 	checkLEAOperand("in", in)
 	checkLEAOperand("coef", coef)
 	checkLEAFootprint(outN + coefN + outN + coefN - 1)
+	d.Emit(TraceLEA, "fir", int64(outN))
 	d.Op(OpLEAInvoke)
 	for i := 0; i < outN; i++ {
 		var acc fixed.Acc
@@ -97,6 +100,7 @@ func (d *Device) LEAAddV(dst *mem.Region, dstOff int, a *mem.Region, aOff int,
 	checkLEAOperand("a", a)
 	checkLEAOperand("b", b)
 	checkLEAFootprint(3 * n)
+	d.Emit(TraceLEA, "addv", int64(n))
 	d.Op(OpLEAInvoke)
 	for i := 0; i < n; i++ {
 		d.Op(OpLEAElem)

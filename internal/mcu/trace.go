@@ -1,0 +1,190 @@
+package mcu
+
+// This file defines the device-side half of the execution-tracing
+// subsystem: a typed event model timestamped in both live cycles and
+// accumulated energy, and a nil-checked Tracer hook on Device. The
+// consumer side (ring buffer, exporters, wasted-work analysis) lives in
+// internal/trace; keeping the interface here lets every layer of the
+// stack emit events without import cycles.
+//
+// Tracing is off by default. The disabled cost is a single nil-check
+// branch on the operation hot path (see BenchmarkDeviceOp); when enabled,
+// per-operation costs are aggregated into op-batch events so the event
+// stream stays proportional to interesting transitions, not to every
+// simulated instruction.
+
+// TraceKind enumerates the traceable event classes.
+type TraceKind uint8
+
+// Trace event kinds. The producers are spread across the stack: the
+// device model itself (op batches, brown-outs, reboots, recharges, DMA
+// and LEA invocations, layer/section changes, durable-progress commits),
+// the Alpaca-style task runtime (task dispatch, privatization, the two
+// phases of commit), SONIC (loop-continuation index writes, transitions),
+// TAILS (calibration decisions), and the periodic-checkpointing runtime
+// (register/stack dumps).
+const (
+	// TraceOpBatch aggregates consecutive plain operations within one
+	// section; Arg is the operation count since the previous event.
+	TraceOpBatch TraceKind = iota
+	// TraceLayerBegin/TraceLayerEnd bracket execution attributed to one
+	// layer label ("conv1", "fc", ...). A layer interrupted by a power
+	// failure begins again after the reboot, so re-execution is visible
+	// as repeated begin events for the same label.
+	TraceLayerBegin
+	TraceLayerEnd
+	// TraceRunBegin marks the start of one inference attempt sequence;
+	// Label is the runtime name.
+	TraceRunBegin
+	// TraceTaskBegin marks an Alpaca-style task dispatch; Label is the
+	// task name, Arg its ID.
+	TraceTaskBegin
+	// TraceTaskCommitStage is phase one of the two-phase commit: the
+	// transition target is staged and the runtime enters commit phase.
+	TraceTaskCommitStage
+	// TraceTaskCommitReplay is phase two: the redo log is replayed to the
+	// home locations and the transition completes. Arg is the number of
+	// log entries replayed.
+	TraceTaskCommitReplay
+	// TracePrivatize records a redo-log insertion (first write by a task
+	// to a task-shared location); Label is the region name, Arg the slot.
+	TracePrivatize
+	// TraceCommit records durable progress (Device.Progress): the point
+	// re-execution will not cross again. Wasted-work analysis measures
+	// from the last commit to the brown-out.
+	TraceCommit
+	// TraceLoopIndex records a loop-continuation cursor write (SONIC's
+	// per-iteration progress store); Arg is the packed cursor.
+	TraceLoopIndex
+	// TraceCheckpoint records a periodic-checkpoint register/stack dump;
+	// Arg is the number of words dumped.
+	TraceCheckpoint
+	// TraceCalibrate records a TAILS tile-calibration decision; Label is
+	// "trial" or "calibrated", Arg the tile size in words.
+	TraceCalibrate
+	// TraceDMA records one DMA block transfer; Arg is the word count.
+	TraceDMA
+	// TraceLEA records one LEA invocation; Label is the vector op
+	// ("macv", "fir", "addv"), Arg the element count.
+	TraceLEA
+	// TraceBrownOut records the energy buffer emptying: the in-flight
+	// operation did not take effect and volatile state is about to be
+	// lost. Label is the section layer at failure.
+	TraceBrownOut
+	// TraceReboot records the device coming back up after a failure;
+	// Arg is the cumulative reboot count.
+	TraceReboot
+	// TraceRechargeDone records the capacitor refill completing; the
+	// event's DeadSec includes the recharge that just finished.
+	TraceRechargeDone
+
+	NumTraceKinds // sentinel
+)
+
+var traceKindNames = [NumTraceKinds]string{
+	"op-batch", "layer-begin", "layer-end", "run-begin",
+	"task-begin", "commit-stage", "commit-replay", "privatize",
+	"commit", "loop-index", "checkpoint", "calibrate",
+	"dma", "lea", "brown-out", "reboot", "recharge-done",
+}
+
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return "?"
+}
+
+// TraceEvent is one timestamped event. Timestamps are the device's
+// accumulated live cycles and consumed energy at the moment of the event;
+// DeadSec adds the recharge time spent so far, so wall-clock time is
+// Cycles/ClockHz + DeadSec. LevelNJ samples the energy buffer when the
+// power system exposes it (-1 otherwise), giving exporters the sawtooth
+// voltage/energy track of the paper's Fig. 6.
+type TraceEvent struct {
+	Kind     TraceKind
+	Cycles   int64
+	EnergyNJ float64
+	DeadSec  float64
+	LevelNJ  float64
+	Label    string
+	Arg      int64
+}
+
+// Tracer receives the event stream. Implementations must not call back
+// into the device. internal/trace provides the standard bounded ring
+// buffer implementation.
+type Tracer interface {
+	TraceEvent(e TraceEvent)
+}
+
+// opBatchMax bounds how many plain operations aggregate into one op-batch
+// event before a flush, so long kernels still produce periodic timeline
+// and energy-level samples.
+const opBatchMax = 1024
+
+// SetTracer installs (or, with nil, removes) the event consumer. It also
+// probes the power system once for a buffer-level sampler, so per-event
+// level sampling is a cached indirect call rather than a type assertion.
+func (d *Device) SetTracer(t Tracer) {
+	d.tracer = t
+	d.levelFn = nil
+	if t == nil {
+		return
+	}
+	if lv, ok := d.Power.(interface{ LevelNJ() float64 }); ok {
+		d.levelFn = lv.LevelNJ
+	}
+}
+
+// Tracer returns the installed event consumer (nil when tracing is off).
+func (d *Device) Tracer() Tracer { return d.tracer }
+
+// Emit records an event if tracing is enabled, flushing any pending
+// op batch first so stream order matches execution order. Callers on hot
+// paths should avoid constructing labels eagerly; passing stored strings
+// keeps the disabled path allocation-free.
+func (d *Device) Emit(k TraceKind, label string, arg int64) {
+	if d.tracer == nil {
+		return
+	}
+	d.flushOpBatch()
+	d.emit(k, label, arg)
+}
+
+// emit sends one event without flushing (internal).
+func (d *Device) emit(k TraceKind, label string, arg int64) {
+	level := -1.0
+	if d.levelFn != nil {
+		level = d.levelFn()
+	}
+	d.tracer.TraceEvent(TraceEvent{
+		Kind:     k,
+		Cycles:   d.stats.LiveCycles,
+		EnergyNJ: d.stats.EnergyNJ,
+		DeadSec:  d.stats.DeadSeconds,
+		LevelNJ:  level,
+		Label:    label,
+		Arg:      arg,
+	})
+}
+
+// FlushTrace flushes any aggregated-but-unemitted op batch to the tracer,
+// so the trace's final timestamps match Stats. Harnesses call it after a
+// run completes; it is a no-op when tracing is off.
+func (d *Device) FlushTrace() {
+	if d.tracer != nil {
+		d.flushOpBatch()
+	}
+}
+
+// flushOpBatch emits the aggregated plain-operation event, attributed to
+// the current section's layer.
+func (d *Device) flushOpBatch() {
+	if d.batchOps == 0 {
+		return
+	}
+	n := d.batchOps
+	d.batchOps = 0
+	d.emit(TraceOpBatch, d.section.Layer, int64(n))
+}

@@ -79,9 +79,11 @@ func (s SONIC) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 		return nil, err
 	}
 	e := &Exec{Img: img, Dev: img.Dev, SparseViaBuffering: s.SparseViaBuffering}
+	e.Dev.Emit(mcu.TraceRunBegin, s.Name(), 0)
 	if err := e.Dev.Run(func() { e.ResetVolatile(); e.Run(runLayerSONIC) }); err != nil {
 		return nil, err
 	}
+	e.Dev.FlushTrace()
 	return img.ReadOutput(FinalParity(img.Model)), nil
 }
 
@@ -154,7 +156,10 @@ func (s *Exec) Checkpoint(c Cursor) {
 func (s *Exec) ForceCheckpoint(c Cursor) {
 	if s.Every > 1 {
 		s.sinceCk = 0
+		s.Dev.Emit(mcu.TraceCheckpoint, "", int64(s.RegWords))
 		s.Dev.Ops(mcu.OpStoreFRAM, s.RegWords)
+	} else {
+		s.Dev.Emit(mcu.TraceLoopIndex, "", c.Pack())
 	}
 	// StoreIndex lets the device model apply the §10 just-in-time index
 	// checkpoint architecture when enabled; on the stock MSP430 model it

@@ -112,6 +112,7 @@ func (t TAILS) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	defer dev.SRAM.Release(sc.coef)
 
 	s := &sonic.Exec{Img: img, Dev: dev}
+	dev.Emit(mcu.TraceRunBegin, t.Name(), 0)
 	if err := dev.Run(func() {
 		s.ResetVolatile()
 		t.calibrate(s, sc)
@@ -119,6 +120,7 @@ func (t TAILS) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	}); err != nil {
 		return nil, err
 	}
+	dev.FlushTrace()
 	return img.ReadOutput(sonic.FinalParity(img.Model)), nil
 }
 
@@ -150,6 +152,7 @@ func (t TAILS) calibrate(s *sonic.Exec, sc *scratch) {
 			cand = minTile
 		}
 	}
+	dev.Emit(mcu.TraceCalibrate, "trial", int64(cand))
 	dev.Store(img.Cal, calTrial, int64(cand))
 	dev.Progress()
 
@@ -179,6 +182,7 @@ func (t TAILS) calibrate(s *sonic.Exec, sc *scratch) {
 	t.addv(dev, sc.out, 0, sc.out, 0, sc.out, outN, outN)
 	t.blockOut(dev, dest, 0, sc.out, 0, outN)
 
+	dev.Emit(mcu.TraceCalibrate, "calibrated", int64(cand))
 	dev.Store(img.Cal, calTile, int64(cand))
 	dev.Store(img.Cal, calTrial, 0)
 	dev.Progress()

@@ -149,6 +149,7 @@ func (rt *Runtime) Run() error {
 			}
 			// Task prologue: discard any stale log from an interrupted
 			// execution and reset the volatile privatization table.
+			rt.dev.Emit(mcu.TraceTaskBegin, rt.tasks[cur].name, int64(cur))
 			rt.dev.Store(rt.state, stCount, 0)
 			rt.writeSet = make(map[int64]int)
 			next := rt.tasks[cur].f(&Ctx{rt: rt})
@@ -163,6 +164,7 @@ func (rt *Runtime) commit(next ID) {
 	dev := rt.dev
 	layer, _ := dev.Section()
 	dev.SetSection(layer, mcu.PhaseTransition)
+	dev.Emit(mcu.TraceTaskCommitStage, rt.TaskName(next), int64(next))
 	dev.Store(rt.state, stNext, int64(next))
 	dev.Store(rt.state, stPhase, phaseCommit)
 	rt.replayAndFinish()
@@ -176,6 +178,7 @@ func (rt *Runtime) replayAndFinish() {
 	layer, _ := dev.Section()
 	dev.SetSection(layer, mcu.PhaseTransition)
 	n := int(dev.Load(rt.state, stCount))
+	dev.Emit(mcu.TraceTaskCommitReplay, layer, int64(n))
 	for j := 0; j < n; j++ {
 		addr := dev.Load(rt.log, 2*j)
 		val := dev.Load(rt.log, 2*j+1)
@@ -241,6 +244,7 @@ func (c *Ctx) Write(r *mem.Region, i int, v int64) {
 	if n >= rt.cap {
 		panic(fmt.Sprintf("task: redo log overflow (%d entries): task writes too much task-shared data", rt.cap))
 	}
+	rt.dev.Emit(mcu.TracePrivatize, r.Name, int64(n))
 	rt.dev.Store(rt.log, 2*n, key)
 	rt.dev.Store(rt.log, 2*n+1, v)
 	rt.dev.Store(rt.state, stCount, int64(n+1))

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChargeCycle summarizes one charge cycle: the execution between two
+// reboots (or from boot to the first reboot, or to the end of the run).
+// Wasted work is the live cycles and energy spent after the cycle's last
+// durable commit and before the brown-out — work that re-execution
+// repeats after the reboot, the quantity the paper's Fig. 6 illustrates.
+type ChargeCycle struct {
+	Index         int
+	StartCycles   int64
+	EndCycles     int64
+	StartEnergyNJ float64
+	EndEnergyNJ   float64
+
+	// Commits is the number of durable-progress points in this cycle.
+	Commits int
+	// BrownedOut reports whether the cycle ended in a power failure
+	// (false only for the final cycle of a completed run).
+	BrownedOut bool
+	// FailedIn is the layer label executing when power failed.
+	FailedIn string
+	// WastedCycles and WastedEnergyNJ measure the re-executed work
+	// between the last commit and the brown-out (the whole cycle if it
+	// committed nothing).
+	WastedCycles   int64
+	WastedEnergyNJ float64
+	// RechargeSec is the dead time spent refilling the buffer before
+	// this cycle's execution began.
+	RechargeSec float64
+
+	lastCommitC int64
+	lastCommitE float64
+}
+
+// LiveCycles is the cycle's total executed cycles.
+func (c ChargeCycle) LiveCycles() int64 { return c.EndCycles - c.StartCycles }
+
+// EnergyNJ is the cycle's total consumed energy.
+func (c ChargeCycle) EnergyNJ() float64 { return c.EndEnergyNJ - c.StartEnergyNJ }
+
+// Analysis is the derived wasted-work summary of a traced run.
+type Analysis struct {
+	Cycles []ChargeCycle
+
+	Reboots             int
+	Commits             int
+	TotalLiveCycles     int64
+	TotalEnergyNJ       float64
+	TotalWastedCycles   int64
+	TotalWastedEnergyNJ float64
+	TotalRechargeSec    float64
+
+	// Drops is the number of ring-buffer overwrites; the aggregates
+	// above are exact regardless (they are computed online).
+	Drops uint64
+}
+
+// Analysis snapshots the online aggregation, closing the in-flight cycle
+// at the last observed timestamps. The Buffer remains usable.
+func (b *Buffer) Analysis() *Analysis {
+	cycles := append([]ChargeCycle(nil), b.closed...)
+	if b.sawEvent {
+		cur := b.cur
+		cur.EndCycles = b.lastC
+		cur.EndEnergyNJ = b.lastE
+		cycles = append(cycles, cur)
+	}
+	a := &Analysis{Cycles: cycles, Drops: b.drops}
+	for _, c := range cycles {
+		if c.BrownedOut {
+			a.Reboots++
+			a.TotalWastedCycles += c.WastedCycles
+			a.TotalWastedEnergyNJ += c.WastedEnergyNJ
+		}
+		a.Commits += c.Commits
+		a.TotalLiveCycles += c.LiveCycles()
+		a.TotalEnergyNJ += c.EnergyNJ()
+		a.TotalRechargeSec += c.RechargeSec
+	}
+	return a
+}
+
+// WastedEnergyPerCycleNJ is the mean energy wasted per browned-out charge
+// cycle (0 when the run never failed).
+func (a *Analysis) WastedEnergyPerCycleNJ() float64 {
+	if a.Reboots == 0 {
+		return 0
+	}
+	return a.TotalWastedEnergyNJ / float64(a.Reboots)
+}
+
+// WastedEnergyShare is the fraction of all consumed energy that was
+// re-executed work.
+func (a *Analysis) WastedEnergyShare() float64 {
+	if a.TotalEnergyNJ == 0 {
+		return 0
+	}
+	return a.TotalWastedEnergyNJ / a.TotalEnergyNJ
+}
+
+// String renders a one-paragraph summary.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d charge cycles, %d reboots, %d commits; ", len(a.Cycles), a.Reboots, a.Commits)
+	fmt.Fprintf(&b, "wasted %.2f uJ (%.1f%% of %.2f uJ consumed", a.TotalWastedEnergyNJ/1e3,
+		100*a.WastedEnergyShare(), a.TotalEnergyNJ/1e3)
+	if a.Reboots > 0 {
+		fmt.Fprintf(&b, "; %.0f nJ/cycle", a.WastedEnergyPerCycleNJ())
+	}
+	b.WriteString(")")
+	if a.Drops > 0 {
+		fmt.Fprintf(&b, "; ring dropped %d oldest events", a.Drops)
+	}
+	return b.String()
+}

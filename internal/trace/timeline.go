@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// timelineMaxRows caps the terminal rendering; runs with more charge
+// cycles show the first and last halves around an elision marker.
+const timelineMaxRows = 48
+
+// WriteTimeline renders the analysis as a per-charge-cycle terminal
+// timeline: each row is one charge cycle, with a bar split into useful
+// (committed) and wasted (re-executed) energy, the layer the cycle died
+// in, and the commit count. It is the terminal version of the paper's
+// Fig. 6 execution diagrams.
+func WriteTimeline(w io.Writer, a *Analysis) error {
+	if len(a.Cycles) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no events recorded")
+		return err
+	}
+	const barWidth = 40
+	maxE := 0.0
+	for _, c := range a.Cycles {
+		if e := c.EnergyNJ(); e > maxE {
+			maxE = e
+		}
+	}
+	if maxE <= 0 {
+		maxE = 1
+	}
+	if _, err := fmt.Fprintf(w, "charge-cycle timeline (%s useful, %s wasted; bar = energy, max %.2f uJ)\n",
+		"█", "░", maxE/1e3); err != nil {
+		return err
+	}
+	rows := a.Cycles
+	elideAt := -1
+	if len(rows) > timelineMaxRows {
+		elideAt = timelineMaxRows / 2
+	}
+	skipped := 0
+	for i, c := range rows {
+		if elideAt >= 0 && i >= elideAt && i < len(rows)-timelineMaxRows/2 {
+			skipped++
+			continue
+		}
+		if skipped > 0 {
+			if _, err := fmt.Fprintf(w, "  ... %d cycles elided ...\n", skipped); err != nil {
+				return err
+			}
+			skipped = 0
+		}
+		total := c.EnergyNJ()
+		wasted := c.WastedEnergyNJ
+		if wasted < 0 {
+			wasted = 0
+		}
+		if wasted > total {
+			wasted = total
+		}
+		wlen := int(wasted / maxE * barWidth)
+		ulen := int((total-wasted)/maxE*barWidth + 0.5)
+		bar := strings.Repeat("█", ulen) + strings.Repeat("░", wlen)
+		end := "done"
+		if c.BrownedOut {
+			end = "† " + c.FailedIn
+		}
+		if _, err := fmt.Fprintf(w, "%4d %-*s %6.2fuJ %2d commits  %s\n",
+			c.Index, barWidth, bar, total/1e3, c.Commits, end); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, a.String())
+	return err
+}
