@@ -1,0 +1,47 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/intermittest"
+)
+
+// TestTileWARSilent sweeps every brown-out placement over the tiled
+// runtimes with the WAR shadow tracker armed: the Alpaca-style redo log
+// must keep every commit region free of unlogged read-then-write hazards,
+// and every schedule must reproduce the continuous-power logits.
+func TestTileWARSilent(t *testing.T) {
+	qm, x := intermittest.TinyModel(1)
+	for _, ts := range []int{8, 32} {
+		rep, err := intermittest.SweepRuntime(qm, x, baseline.Tile{TileSize: ts},
+			intermittest.Options{CheckWAR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Errorf("%s not intermittence-safe: %s", rep.Runtime, rep.Summary())
+		}
+		if rep.GoldenWAR != 0 {
+			t.Errorf("%s golden run has WAR hazards: %v", rep.Runtime, rep.GoldenWAR)
+		}
+	}
+}
+
+// TestBaseWARFlagged is a negative control: the unprotected baseline does
+// in-place NV updates with no logging, so the WAR detector must fire even
+// on continuous power, and brown-outs must corrupt its logits.
+func TestBaseWARFlagged(t *testing.T) {
+	qm, x := intermittest.TinyModel(1)
+	rep, err := intermittest.SweepRuntime(qm, x, baseline.Base{},
+		intermittest.Options{CheckWAR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoldenWAR == 0 {
+		t.Error("WAR detector silent on the unprotected baseline")
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Error("brown-out sweep found no logit corruption in the unprotected baseline")
+	}
+}

@@ -1,0 +1,27 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/intermittest"
+)
+
+// TestCheckpointWARSilent sweeps every brown-out placement with the WAR
+// shadow tracker armed: periodic full-state checkpointing must restore a
+// consistent snapshot after every reboot, leaving no unlogged
+// read-then-write hazard and reproducing the continuous-power logits.
+func TestCheckpointWARSilent(t *testing.T) {
+	qm, x := intermittest.TinyModel(1)
+	rep, err := intermittest.SweepRuntime(qm, x, checkpoint.Checkpoint{Interval: 8},
+		intermittest.Options{CheckWAR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("%s not intermittence-safe: %s", rep.Runtime, rep.Summary())
+	}
+	if rep.GoldenWAR != 0 {
+		t.Errorf("%s golden run has WAR hazards: %v", rep.Runtime, rep.GoldenWAR)
+	}
+}

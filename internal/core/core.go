@@ -169,6 +169,10 @@ func Deploy(dev *mcu.Device, qm *dnn.QuantModel) (*Image, error) {
 	if img.Cal, err = dev.FRAM.Alloc("cal", 4, 2); err != nil {
 		return nil, err
 	}
+	// The control block and calibration area carry the runtimes' own
+	// crash-consistency protocols (commit cursors, undo-log slots, staged
+	// partials), so the WAR checker must treat them as exempt.
+	dev.MarkProtocol(img.Ctl, img.Cal)
 	return img, nil
 }
 

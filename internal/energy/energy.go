@@ -161,7 +161,9 @@ type Intermittent struct {
 	Cap       Capacitor
 	Harvester Harvester
 
-	remaining float64
+	remaining   float64
+	harvestedNJ float64
+	deadSec     float64
 }
 
 // NewIntermittent returns a power system with the capacitor fully charged.
@@ -186,7 +188,23 @@ func (p *Intermittent) Recharge() float64 {
 	if w <= 0 {
 		panic("energy: harvester produced non-positive power")
 	}
-	return deficit * 1e-9 / w
+	d := deficit * 1e-9 / w
+	p.harvestedNJ += deficit
+	p.deadSec += d
+	return d
+}
+
+// ObservedHarvestW reports the mean harvest power actually seen by the run
+// so far: total recharged energy over total dead time. It returns 0 before
+// the first recharge, when no observation exists; callers fall back to a
+// nominal figure then. For a constant harvester this equals the constant,
+// while for stochastic or diurnal harvesters it is the run's true average,
+// which steady-state amortization must use instead of the RF constant.
+func (p *Intermittent) ObservedHarvestW() float64 {
+	if p.deadSec <= 0 {
+		return 0
+	}
+	return p.harvestedNJ * 1e-9 / p.deadSec
 }
 
 // BufferEnergy returns the usable energy per charge in nJ.
@@ -196,8 +214,12 @@ func (p *Intermittent) BufferEnergy() float64 { return p.Cap.UsableNJ() }
 // samples it to render the sawtooth voltage/energy track of Fig. 6.
 func (p *Intermittent) LevelNJ() float64 { return math.Max(p.remaining, 0) }
 
-// Reset refills the capacitor.
-func (p *Intermittent) Reset() { p.remaining = p.Cap.UsableNJ() }
+// Reset refills the capacitor and discards harvest observations.
+func (p *Intermittent) Reset() {
+	p.remaining = p.Cap.UsableNJ()
+	p.harvestedNJ = 0
+	p.deadSec = 0
+}
 
 // String describes the power system.
 func (p *Intermittent) String() string {
@@ -254,6 +276,62 @@ func (f *FailAfterOps) Reset() {
 	f.count = 0
 	f.limit = f.First
 	f.failed = false
+}
+
+// FailSchedule is a deterministic multi-failure fault-injection source: the
+// k-th charge cycle browns out on its Gaps[k]-th Consume call, regardless
+// of energy. When the schedule is exhausted the source
+// behaves as continuous power, so every run terminates and can be checked
+// against a golden result. Dead time is zero. Fuzzers decode their input
+// bytes into a gap list and hand it here, making every failure schedule a
+// small, printable, replayable value.
+type FailSchedule struct {
+	Gaps []int
+
+	cycle int
+	count int
+}
+
+// NewFailSchedule returns a source that fails after gaps[0] ops, then after
+// the next gaps[1] ops, and so on; non-positive gaps are treated as 1 (a
+// failure schedule can never brown out "before" an op boundary).
+func NewFailSchedule(gaps []int) *FailSchedule {
+	return &FailSchedule{Gaps: gaps}
+}
+
+// Consume counts operations and fails at the current cycle's boundary.
+func (f *FailSchedule) Consume(float64) bool {
+	if f.cycle >= len(f.Gaps) {
+		return true // exhausted schedule: behave as continuous
+	}
+	gap := f.Gaps[f.cycle]
+	if gap < 1 {
+		gap = 1
+	}
+	f.count++
+	return f.count < gap
+}
+
+// Recharge advances to the next scheduled failure window.
+func (f *FailSchedule) Recharge() float64 {
+	f.cycle++
+	f.count = 0
+	return 0
+}
+
+// BufferEnergy is reported as the current op budget (callers treat it as
+// opaque); once the schedule is exhausted it is unbounded, like Continuous.
+func (f *FailSchedule) BufferEnergy() float64 {
+	if f.cycle >= len(f.Gaps) {
+		return math.Inf(1)
+	}
+	return float64(f.Gaps[f.cycle])
+}
+
+// Reset restores the initial schedule.
+func (f *FailSchedule) Reset() {
+	f.cycle = 0
+	f.count = 0
 }
 
 // TraceHarvester replays a recorded power trace, one sample per recharge
@@ -337,6 +415,9 @@ func (r *Recorder) BufferEnergy() float64 { return r.Inner.BufferEnergy() }
 
 // LevelNJ forwards to the wrapped system.
 func (r *Recorder) LevelNJ() float64 { return r.Inner.LevelNJ() }
+
+// ObservedHarvestW forwards to the wrapped system.
+func (r *Recorder) ObservedHarvestW() float64 { return r.Inner.ObservedHarvestW() }
 
 // Reset forwards and clears the trace.
 func (r *Recorder) Reset() {

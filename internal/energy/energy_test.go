@@ -245,3 +245,95 @@ func TestRecorderWithDevice(t *testing.T) {
 		t.Fatal("first op should succeed")
 	}
 }
+
+func TestFailScheduleBoundaries(t *testing.T) {
+	f := NewFailSchedule([]int{3, 2})
+	// Cycle 0: ops 1,2 succeed, op 3 fails.
+	for i := 0; i < 2; i++ {
+		if !f.Consume(1) {
+			t.Fatalf("cycle 0 op %d failed early", i+1)
+		}
+	}
+	if f.Consume(1) {
+		t.Fatal("cycle 0 did not fail at gap 3")
+	}
+	if d := f.Recharge(); d != 0 {
+		t.Fatalf("fault-injection recharge took %v dead seconds", d)
+	}
+	// Cycle 1: op 1 succeeds, op 2 fails.
+	if !f.Consume(1) {
+		t.Fatal("cycle 1 op 1 failed early")
+	}
+	if f.Consume(1) {
+		t.Fatal("cycle 1 did not fail at gap 2")
+	}
+	f.Recharge()
+	// Schedule exhausted: continuous from here on.
+	for i := 0; i < 1000; i++ {
+		if !f.Consume(1) {
+			t.Fatal("exhausted schedule failed")
+		}
+	}
+	if !math.IsInf(f.BufferEnergy(), 1) {
+		t.Fatal("exhausted schedule should report unbounded buffer")
+	}
+	// Reset restores the full schedule.
+	f.Reset()
+	f.Consume(1)
+	f.Consume(1)
+	if f.Consume(1) {
+		t.Fatal("reset did not restore the schedule")
+	}
+}
+
+func TestFailScheduleClampsNonPositiveGaps(t *testing.T) {
+	f := NewFailSchedule([]int{0})
+	if f.Consume(1) {
+		t.Fatal("gap 0 must clamp to 1 and fail the first op")
+	}
+}
+
+func TestObservedHarvestWConstant(t *testing.T) {
+	p := NewIntermittent(Cap100uF, ConstantHarvester{Watts: DefaultRFWatts})
+	if w := p.ObservedHarvestW(); w != 0 {
+		t.Fatalf("ObservedHarvestW before any recharge = %v, want 0", w)
+	}
+	p.Consume(p.Cap.UsableNJ() + 1) // drain past empty
+	p.Recharge()
+	if w := p.ObservedHarvestW(); math.Abs(w-DefaultRFWatts) > 1e-12 {
+		t.Fatalf("observed %v W, want the constant %v W", w, DefaultRFWatts)
+	}
+	p.Reset()
+	if w := p.ObservedHarvestW(); w != 0 {
+		t.Fatalf("Reset kept harvest observations (%v W)", w)
+	}
+}
+
+func TestObservedHarvestWVariable(t *testing.T) {
+	trace, err := NewTraceHarvester([]float64{1e-3, 3e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewIntermittent(Cap100uF, trace)
+	e := p.Cap.UsableNJ()
+	for i := 0; i < 2; i++ {
+		p.Consume(e + 1)
+		p.Recharge()
+	}
+	// Mean power is energy-weighted: 2E harvested over E*1e-9*(1/1e-3+1/3e-3)
+	// seconds = 1.5e-3 W, not the arithmetic mean 2e-3.
+	want := 2.0 / (1/1e-3 + 1/3e-3)
+	if w := p.ObservedHarvestW(); math.Abs(w-want)/want > 1e-9 {
+		t.Fatalf("observed %v W, want %v W", w, want)
+	}
+}
+
+func TestRecorderForwardsObservedHarvest(t *testing.T) {
+	p := NewIntermittent(Cap100uF, ConstantHarvester{Watts: DefaultRFWatts})
+	r := NewRecorder(p, 4)
+	r.Consume(p.Cap.UsableNJ() + 1)
+	r.Recharge()
+	if w := r.ObservedHarvestW(); math.Abs(w-DefaultRFWatts) > 1e-12 {
+		t.Fatalf("recorder observed %v W, want %v W", w, DefaultRFWatts)
+	}
+}

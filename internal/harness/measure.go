@@ -152,7 +152,7 @@ func measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
 	res.Reboots = st.Reboots
 	res.SteadySec = res.LiveSec
 	if p.Name != "cont" {
-		res.SteadySec += st.EnergyNJ * 1e-9 / energy.DefaultRFWatts
+		res.SteadySec += st.EnergyNJ * 1e-9 / harvestWatts(dev.Power)
 	}
 	res.Sections = st.Sections
 	res.OpEnergy = st.OpEnergy
@@ -167,6 +167,23 @@ func measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
 	res.Completed = true
 	res.Predicted = core.Argmax(logits)
 	return res, nil
+}
+
+// harvestWatts returns the harvest power used to amortize recharging into
+// SteadySec: the power system's *observed* mean harvest (recharged energy
+// over measured dead time) whenever the run recharged at least once, and
+// the nominal RF constant otherwise. Using the constant for every
+// non-continuous power was a bug: for solar or stochastic harvesters the
+// observed mean differs from the RF figure by up to an order of magnitude,
+// and the steady-state amortization must reflect what the run actually
+// harvested.
+func harvestWatts(p energy.System) float64 {
+	if op, ok := p.(interface{ ObservedHarvestW() float64 }); ok {
+		if w := op.ObservedHarvestW(); w > 0 {
+			return w
+		}
+	}
+	return energy.DefaultRFWatts
 }
 
 // LayerSections aggregates a run's sections by layer label, returning

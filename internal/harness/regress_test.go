@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/sonic"
+)
+
+// TestSteadySecUsesObservedHarvest is the regression test for the
+// steady-state timing bug: SteadySec amortized recharging at the nominal
+// RF constant for *every* non-continuous power system, even solar, whose
+// observed harvest differs by more than an order of magnitude. The fix
+// divides by the run's observed mean harvest power instead.
+func TestSteadySecUsesObservedHarvest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	net := dnn.NewNetwork("synthetic", dnn.Shape{1, 1, 256}).Add(
+		dnn.NewDense(rng, 128, 256),
+		dnn.NewReLU(),
+		dnn.NewDense(rng, 10, 128),
+	)
+	if _, err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	calib := make([]float64, 256)
+	for i := range calib {
+		calib[i] = rng.Float64()*2 - 1
+	}
+	qm, err := dnn.Quantize(net, [][]float64{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := qm.QuantizeInput(calib)
+
+	solar := StochasticPowers(3)[2] // solar-100uF
+	res, err := Measure("synthetic", qm, sonic.SONIC{}, solar, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Reboots == 0 {
+		t.Fatalf("want a completed run with reboots, got completed=%v reboots=%d",
+			res.Completed, res.Reboots)
+	}
+	oldFormula := res.LiveSec + res.EnergyMJ*1e-3/energy.DefaultRFWatts
+	if rel := res.SteadySec/oldFormula - 1; rel < 0.10 && rel > -0.10 {
+		t.Errorf("solar SteadySec %.4fs within 10%% of the RF-constant formula %.4fs: observed harvest not used",
+			res.SteadySec, oldFormula)
+	}
+
+	// The constant-RF banks must be unaffected: observed harvest of a
+	// constant harvester equals the constant, so the figures don't move.
+	rf := Powers()[3] // 100uF RF
+	res, err = Measure("synthetic", qm, sonic.SONIC{}, rf, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reboots == 0 {
+		t.Fatal("RF run should reboot")
+	}
+	oldFormula = res.LiveSec + res.EnergyMJ*1e-3/energy.DefaultRFWatts
+	if rel := res.SteadySec/oldFormula - 1; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("RF SteadySec %.6fs moved from the constant formula %.6fs", res.SteadySec, oldFormula)
+	}
+}
+
+// TestExtensionsRendersDNC is the regression test for the table-abort bug:
+// a single row whose runtime browns out forever used to error out the whole
+// Extensions table. It must render as "DNC" and later rows must survive.
+func TestExtensionsRendersDNC(t *testing.T) {
+	p := prepQuick(t, "har")
+	cont := Powers()[0]
+	// An unprotected baseline on a 100 µF bank restarts from scratch every
+	// charge and never completes (§2.1) — the guaranteed-DNC row.
+	tiny := Powers()[3]
+	tab, err := extensionsTable(p, cont, []extRow{
+		{baseline.Base{}, tiny, false},
+		{sonic.SONIC{}, cont, false},
+	})
+	if err != nil {
+		t.Fatalf("DNC row aborted the table: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (DNC row plus surviving row)", len(tab.Rows))
+	}
+	if tab.Rows[0][2] != "DNC" || tab.Rows[0][3] != "-" {
+		t.Errorf("incomplete row rendered as %v, want energy DNC and ratio -", tab.Rows[0])
+	}
+	if tab.Rows[1][2] == "DNC" || !strings.HasSuffix(tab.Rows[1][3], "x") {
+		t.Errorf("surviving row mangled: %v", tab.Rows[1])
+	}
+}
+
+// TestScoreModelPropagatesDeployError is the regression test for the §5.1
+// score bug: Deploy/Infer failures were swallowed and scored as 0 IMpJ /
+// 0 J. A model whose weights exceed FRAM must surface the deploy error.
+func TestScoreModelPropagatesDeployError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	net := dnn.NewNetwork("oversized", dnn.Shape{1, 1, 400}).Add(
+		dnn.NewDense(rng, 400, 400), // 160k weights = 320 KB > 256 KB FRAM
+	)
+	if _, err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	calib := make([]float64, 400)
+	for i := range calib {
+		calib[i] = rng.Float64()
+	}
+	qm, err := dnn.Quantize(net, [][]float64{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := scoreModel(qm, 0.9, calib); err == nil {
+		t.Fatal("oversized model scored without error; deploy failure swallowed")
+	}
+}

@@ -1,0 +1,429 @@
+// Package intermittest is a fault-injection campaign engine for the
+// intermittent device model: it sweeps brown-out placement across operation
+// boundaries (exhaustively below a threshold, stratified-sampled with a
+// seed above it) and differentially checks every run's final logits and
+// predicted class against a continuous-power golden run of the same
+// runtime. With WAR checking enabled it additionally arms the device's
+// memory-consistency shadow tracker, catching write-after-read hazards even
+// at boundaries where the logits happen to survive.
+//
+// The paper's central correctness claim (§4, §6) is that SONIC/TAILS
+// tolerate a power failure at *any* instruction boundary; this package is
+// the systematic form of that claim, and the deliberately unsafe runtimes
+// (the naive baseline, and Broken in this package) are its negative
+// controls.
+package intermittest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+)
+
+// Options configures a campaign.
+type Options struct {
+	// ExhaustiveLimit is the largest golden op count for which every single
+	// boundary is swept; above it the sweep stratifies MaxBoundaries random
+	// samples (one per equal-width stratum, so coverage stays uniform).
+	ExhaustiveLimit int
+	// MaxBoundaries bounds the sampled sweep size.
+	MaxBoundaries int
+	// Seed drives the sampling RNG; exhaustive sweeps ignore it.
+	Seed uint64
+	// CheckWAR arms the device's write-after-read shadow tracker on every
+	// run, including the golden one.
+	CheckWAR bool
+	// Workers is the sweep parallelism (defaults to GOMAXPROCS). Each
+	// boundary runs on its own fresh device, so workers share nothing.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExhaustiveLimit <= 0 {
+		o.ExhaustiveLimit = 50000
+	}
+	if o.MaxBoundaries <= 0 {
+		o.MaxBoundaries = 512
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Mismatch records one differential check failure: the first diverging
+// logit of a faulted run.
+type Mismatch struct {
+	Boundary  int // failing schedule position (ops before brown-out)
+	Logit     int // first differing logit index
+	Got, Want fixed.Q15
+	GotPred   int
+	WantPred  int
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("boundary %d: logit[%d]=%d want %d (pred %d want %d)",
+		m.Boundary, m.Logit, m.Got, m.Want, m.GotPred, m.WantPred)
+}
+
+// RuntimeReport is one runtime's campaign outcome.
+type RuntimeReport struct {
+	Runtime    string
+	TotalOps   int64 // golden continuous-power op count
+	Exhaustive bool  // every boundary in [1, TotalOps] swept
+	Swept      int   // boundaries actually run
+	GoldenPred int   // predicted class under continuous power
+	GoldenWAR  int   // WAR violations in the golden run itself
+
+	Mismatches []Mismatch
+	DNC        []int    // boundaries that failed to complete
+	Errors     []string // unexpected deploy/infer errors
+	WARBounds  []int    // boundaries with ≥1 WAR violation
+	WARSample  []mcu.WARViolation
+}
+
+// Clean reports whether the runtime survived the whole sweep: every faulted
+// run completed, matched the golden logits, and (when checked) raised no
+// WAR violation anywhere, golden run included.
+func (r *RuntimeReport) Clean() bool {
+	return len(r.Mismatches) == 0 && len(r.DNC) == 0 && len(r.Errors) == 0 &&
+		len(r.WARBounds) == 0 && r.GoldenWAR == 0
+}
+
+// Summary renders the runtime's outcome as one line.
+func (r *RuntimeReport) Summary() string {
+	mode := "sampled"
+	if r.Exhaustive {
+		mode = "exhaustive"
+	}
+	verdict := "CLEAN"
+	detail := ""
+	if !r.Clean() {
+		verdict = "UNSAFE"
+		if len(r.Mismatches) > 0 {
+			detail += fmt.Sprintf(" first-mismatch@%d", r.Mismatches[0].Boundary)
+		}
+		if n := len(r.WARBounds); n > 0 {
+			detail += fmt.Sprintf(" war@%d-boundaries", n)
+		}
+		if r.GoldenWAR > 0 {
+			detail += fmt.Sprintf(" golden-war=%d", r.GoldenWAR)
+		}
+	}
+	return fmt.Sprintf("%-12s ops=%-6d swept=%-5d (%s) mismatch=%-4d dnc=%-3d err=%-3d %s%s",
+		r.Runtime, r.TotalOps, r.Swept, mode, len(r.Mismatches), len(r.DNC),
+		len(r.Errors), verdict, detail)
+}
+
+// Report is a whole campaign's outcome.
+type Report struct {
+	Seed     uint64
+	Runtimes []*RuntimeReport
+}
+
+// String renders one summary line per runtime.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, rr := range r.Runtimes {
+		b.WriteString(rr.Summary())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Checker holds one runtime's golden result and checks failure schedules
+// against it. It is safe for concurrent Check calls.
+type Checker struct {
+	qm       *dnn.QuantModel
+	qin      []fixed.Q15
+	rt       core.Runtime
+	checkWAR bool
+
+	want      []fixed.Q15
+	wantPred  int
+	totalOps  int64
+	maxRegion int64
+	goldenWAR []mcu.WARViolation
+}
+
+// NewChecker runs the runtime once under continuous power and captures the
+// golden logits and total op count. The golden run is per-runtime because
+// accelerated runtimes (TAILS) compute bit-different but equally valid
+// logits vs the software kernels.
+func NewChecker(qm *dnn.QuantModel, x []float64, rt core.Runtime, checkWAR bool) (*Checker, error) {
+	c := &Checker{qm: qm, qin: qm.QuantizeInput(x), rt: rt, checkWAR: checkWAR}
+	dev := mcu.New(energy.Continuous{})
+	if checkWAR {
+		dev.EnableWARCheck()
+	}
+	img, err := core.Deploy(dev, qm)
+	if err != nil {
+		return nil, fmt.Errorf("intermittest: golden deploy: %w", err)
+	}
+	want, err := rt.Infer(img, c.qin)
+	if err != nil {
+		return nil, fmt.Errorf("intermittest: golden %s run: %w", rt.Name(), err)
+	}
+	c.want = want
+	c.wantPred = core.Argmax(want)
+	for _, n := range dev.Stats().OpCount {
+		c.totalOps += n
+	}
+	c.maxRegion = dev.Stats().MaxRegionOps
+	c.goldenWAR = dev.WARViolations()
+	return c, nil
+}
+
+// LiveGapFloor returns the smallest per-cycle op budget that guarantees
+// this runtime commits at least one atomic region per charge cycle: twice
+// the golden run's largest commit-to-commit region (the factor covers the
+// post-reboot resume prefix) plus a fixed margin. Failure schedules whose
+// gaps all meet the floor make "does not complete" a genuine liveness bug
+// rather than an under-provisioned energy buffer — a tile-128 task simply
+// needs more energy than a tiny capacitor holds (§2.1), and fuzzing must
+// not report that physics as a defect.
+func (c *Checker) LiveGapFloor() int {
+	return int(2*c.maxRegion) + MinLiveGap
+}
+
+// AbsoluteGaps converts relative fuzzed budgets (from DecodeSchedule) into
+// a schedule that satisfies the runtime's liveness floor.
+func (c *Checker) AbsoluteGaps(rel []int) []int {
+	floor := c.LiveGapFloor()
+	gaps := make([]int, len(rel))
+	for i, r := range rel {
+		gaps[i] = floor + r
+	}
+	return gaps
+}
+
+// TotalOps returns the golden run's operation count — the number of
+// distinct brown-out boundaries.
+func (c *Checker) TotalOps() int64 { return c.totalOps }
+
+// Golden returns the golden logits.
+func (c *Checker) Golden() []fixed.Q15 { return c.want }
+
+// GoldenWAR returns WAR violations seen in the golden run (a runtime that
+// hazards even under continuous power, like the naive baseline, flags here).
+func (c *Checker) GoldenWAR() []mcu.WARViolation { return c.goldenWAR }
+
+// ScheduleResult is the outcome of one faulted run.
+type ScheduleResult struct {
+	Runtime  string
+	Gaps     []int
+	DNC      bool
+	Err      error
+	Mismatch *Mismatch
+	WARCount int
+	WAR      []mcu.WARViolation
+}
+
+// Failing reports whether the schedule exposed a bug: a logit divergence, a
+// WAR violation, an unexpected error, or a failure to complete. (Every
+// FailSchedule ends in continuous power, so completion is always possible
+// for a correct runtime.)
+func (r *ScheduleResult) Failing() bool {
+	return r.DNC || r.Err != nil || r.Mismatch != nil || r.WARCount > 0
+}
+
+func (r *ScheduleResult) String() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("%s gaps=%v: error: %v", r.Runtime, r.Gaps, r.Err)
+	case r.DNC:
+		return fmt.Sprintf("%s gaps=%v: does not complete", r.Runtime, r.Gaps)
+	case r.Mismatch != nil:
+		return fmt.Sprintf("%s gaps=%v: %s (war=%d)", r.Runtime, r.Gaps, r.Mismatch, r.WARCount)
+	case r.WARCount > 0:
+		v := r.WAR[0]
+		return fmt.Sprintf("%s gaps=%v: %d WAR violations, first %s[%d] in %s",
+			r.Runtime, r.Gaps, r.WARCount, v.Region, v.Index, v.Layer)
+	default:
+		return fmt.Sprintf("%s gaps=%v: ok", r.Runtime, r.Gaps)
+	}
+}
+
+// Check runs the runtime under the given brown-out schedule (ops before the
+// k-th failure) on a fresh device and differentially checks the result.
+func (c *Checker) Check(gaps []int) *ScheduleResult {
+	res := &ScheduleResult{Runtime: c.rt.Name(), Gaps: gaps}
+	dev := mcu.New(energy.NewFailSchedule(gaps))
+	if c.checkWAR {
+		dev.EnableWARCheck()
+	}
+	img, err := core.Deploy(dev, c.qm)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	got, err := c.rt.Infer(img, c.qin)
+	res.WARCount = dev.WARCount()
+	res.WAR = dev.WARViolations()
+	if err != nil {
+		if errors.Is(err, mcu.ErrDoesNotComplete) {
+			res.DNC = true
+		} else {
+			res.Err = err
+		}
+		return res
+	}
+	boundary := 0
+	if len(gaps) > 0 {
+		boundary = gaps[0]
+	}
+	for i := range got {
+		if got[i] != c.want[i] {
+			res.Mismatch = &Mismatch{
+				Boundary: boundary, Logit: i,
+				Got: got[i], Want: c.want[i],
+				GotPred: core.Argmax(got), WantPred: c.wantPred,
+			}
+			break
+		}
+	}
+	return res
+}
+
+// Minimize greedily shrinks a failing schedule while it keeps failing:
+// first dropping whole failures, then rounding the surviving gaps down to
+// the smallest value that still fails (binary search per gap). The returned
+// schedule is 1-minimal under element removal.
+func (c *Checker) Minimize(gaps []int) []int {
+	if !c.Check(gaps).Failing() {
+		return gaps
+	}
+	cur := append([]int(nil), gaps...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
+			if c.Check(cand).Failing() {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	for i := range cur {
+		lo, hi := 1, cur[i] // invariant: schedule with cur[i]=hi fails
+		for lo < hi {
+			mid := (lo + hi) / 2
+			cand := append([]int(nil), cur...)
+			cand[i] = mid
+			if c.Check(cand).Failing() {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cur[i] = hi
+	}
+	return cur
+}
+
+// SweepRuntime runs the single-failure brown-out placement campaign for one
+// runtime: golden run, boundary selection, then one faulted run per
+// boundary across Workers goroutines.
+func SweepRuntime(qm *dnn.QuantModel, x []float64, rt core.Runtime, opt Options) (*RuntimeReport, error) {
+	opt = opt.withDefaults()
+	c, err := NewChecker(qm, x, rt, opt.CheckWAR)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RuntimeReport{
+		Runtime:    rt.Name(),
+		TotalOps:   c.totalOps,
+		GoldenPred: c.wantPred,
+		GoldenWAR:  len(c.goldenWAR),
+	}
+	bounds, exhaustive := boundaries(c.totalOps, opt)
+	rep.Exhaustive = exhaustive
+	rep.Swept = len(bounds)
+
+	results := make([]*ScheduleResult, len(bounds))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = c.Check([]int{bounds[i]})
+			}
+		}()
+	}
+	for i := range bounds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, r := range results {
+		b := bounds[i]
+		switch {
+		case r.Err != nil:
+			rep.Errors = append(rep.Errors, fmt.Sprintf("boundary %d: %v", b, r.Err))
+		case r.DNC:
+			rep.DNC = append(rep.DNC, b)
+		case r.Mismatch != nil:
+			rep.Mismatches = append(rep.Mismatches, *r.Mismatch)
+		}
+		if r.WARCount > 0 {
+			rep.WARBounds = append(rep.WARBounds, b)
+			if len(rep.WARSample) == 0 {
+				rep.WARSample = r.WAR
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Campaign sweeps every runtime and collects the per-runtime reports.
+func Campaign(qm *dnn.QuantModel, x []float64, rts []core.Runtime, opt Options) (*Report, error) {
+	rep := &Report{Seed: opt.Seed}
+	for _, rt := range rts {
+		rr, err := SweepRuntime(qm, x, rt, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runtimes = append(rep.Runtimes, rr)
+	}
+	return rep, nil
+}
+
+// boundaries selects the swept brown-out placements: every op boundary when
+// the run is small enough, otherwise one seeded random sample from each of
+// MaxBoundaries equal-width strata so coverage stays uniform end to end.
+func boundaries(total int64, opt Options) ([]int, bool) {
+	if total <= int64(opt.ExhaustiveLimit) {
+		b := make([]int, total)
+		for i := range b {
+			b[i] = i + 1
+		}
+		return b, true
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, mix(opt.Seed)))
+	n := opt.MaxBoundaries
+	b := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		lo := total*int64(k)/int64(n) + 1
+		hi := total * int64(k+1) / int64(n)
+		if hi < lo {
+			continue
+		}
+		b = append(b, int(lo+rng.Int64N(hi-lo+1)))
+	}
+	sort.Ints(b)
+	return b, false
+}

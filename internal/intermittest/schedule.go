@@ -1,0 +1,64 @@
+package intermittest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MinLiveGap is the fixed margin added on top of a runtime's measured
+// atomic-region size when computing its liveness floor (Checker.
+// LiveGapFloor); it absorbs small boot/resume costs the golden run's
+// region measurement cannot see.
+const MinLiveGap = 64
+
+// maxFuzzFailures bounds a decoded schedule's length so one fuzz execution
+// stays fast; the trailing continuous-power phase checks the result.
+const maxFuzzFailures = 32
+
+// DecodeSchedule maps arbitrary fuzzer bytes onto relative per-cycle op
+// budgets in [0, 4095]: each big-endian byte pair is one charge cycle. The
+// mapping is total — every input decodes to a valid schedule — which is
+// what coverage-guided fuzzing wants. Callers add each runtime's liveness
+// floor via Checker.AbsoluteGaps before running, so a brown-out schedule
+// can never starve a correct runtime of the energy one atomic region needs.
+func DecodeSchedule(data []byte) []int {
+	n := len(data) / 2
+	if n > maxFuzzFailures {
+		n = maxFuzzFailures
+	}
+	gaps := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		gaps = append(gaps, (int(data[2*i])<<8|int(data[2*i+1]))%4096)
+	}
+	return gaps
+}
+
+// ParseSchedule parses a comma-separated gap list ("375,500,64") as passed
+// on the cmd/fuzz command line.
+func ParseSchedule(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var gaps []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("intermittest: bad schedule element %q: %w", f, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("intermittest: schedule gap %d must be >= 1", v)
+		}
+		gaps = append(gaps, v)
+	}
+	return gaps, nil
+}
+
+// FormatSchedule renders a gap list in ParseSchedule's format.
+func FormatSchedule(gaps []int) string {
+	parts := make([]string, len(gaps))
+	for i, g := range gaps {
+		parts[i] = strconv.Itoa(g)
+	}
+	return strings.Join(parts, ",")
+}

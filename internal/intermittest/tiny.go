@@ -1,0 +1,55 @@
+package intermittest
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/dnn"
+)
+
+// TinyModel builds the smallest quantized model that still exercises every
+// kernel class the runtimes implement — a pruned convolution (including
+// the bias-only finalize path when pruning kills a filter), ReLU, max
+// pooling, a sparse fully-connected layer (SONIC's undo-logging path), and
+// a dense fully-connected layer. One inference is a few thousand device
+// operations, small enough that a fault-injection campaign can place a
+// brown-out at every single operation boundary for every runtime.
+//
+// The seed fully determines the weights and the returned input sample, so
+// campaigns reproduce from one value.
+func TinyModel(seed uint64) (*dnn.QuantModel, []float64) {
+	rng := rand.New(rand.NewPCG(seed, mix(seed)))
+	n := dnn.NewNetwork("tiny", dnn.Shape{1, 2, 8})
+	conv := dnn.NewConv(rng, 2, 1, 1, 3) // -> 2x2x6
+	conv.Prune(0.2)
+	n.Add(
+		conv,
+		dnn.NewReLU(),
+		dnn.NewMaxPool(2), // -> 2x1x3
+		dnn.NewFlatten(),
+		dnn.NewDense(rng, 6, 6),
+		dnn.NewReLU(),
+		dnn.NewDense(rng, 3, 6),
+	)
+	n.Layers[4] = dnn.NewSparseDense(n.Layers[4].(*dnn.Dense), 0.05)
+
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64()*1.6 - 0.8
+	}
+	qm, err := dnn.Quantize(n, [][]float64{x})
+	if err != nil {
+		// The tiny architecture is fixed; quantization over a nonempty
+		// calibration sample cannot fail for it.
+		panic("intermittest: tiny model does not quantize: " + err.Error())
+	}
+	return qm, x
+}
+
+// mix derives a second PCG state word from one seed (SplitMix64 finalizer),
+// mirroring the energy package's seeding so one CLI value pins everything.
+func mix(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

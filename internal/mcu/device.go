@@ -57,6 +57,13 @@ type Stats struct {
 	OpCount     [NumOps]int64
 	OpEnergy    [NumOps]float64
 	Sections    map[Section]*SectionStats
+
+	// MaxRegionOps is the largest op count observed between consecutive
+	// durable commits (Progress calls) — the program's atomic-region size.
+	// Any charge cycle funding fewer ops than this can fail to make
+	// progress, so fault-injection campaigns use it as the liveness floor
+	// for fuzzed failure schedules.
+	MaxRegionOps int64
 }
 
 // LiveSeconds converts live cycles to seconds at the given clock.
@@ -98,8 +105,17 @@ type Device struct {
 	levelFn  func() float64
 	batchOps int
 
+	// Memory-consistency state: shadow is the nil-checked WAR tracker
+	// (see consistency.go), protocol the regions exempted from it, and
+	// warViolations/warCount the detections so far.
+	shadow        *mem.Shadow
+	protocol      []*mem.Region
+	warViolations []WARViolation
+	warCount      int
+
 	rebootsSinceProgress int
 	inAttempt            bool
+	opsInRegion          int64
 }
 
 // New returns a device with the standard MSP430FR5994 memory sizes.
@@ -166,6 +182,7 @@ func (d *Device) Op(k OpKind) {
 	}
 	d.stats.LiveCycles += int64(c.Cycles)
 	d.stats.EnergyNJ += c.EnergyNJ
+	d.opsInRegion++
 	d.stats.OpCount[k]++
 	d.stats.OpEnergy[k] += c.EnergyNJ
 	d.secStats.Cycles += int64(c.Cycles)
@@ -207,6 +224,9 @@ func storeOp(r *mem.Region) OpKind {
 // Load reads region word i, charging the memory's access cost.
 func (d *Device) Load(r *mem.Region, i int) int64 {
 	d.Op(loadOp(r))
+	if d.shadow != nil {
+		d.shadowRead(r, i)
+	}
 	return r.Get(i)
 }
 
@@ -214,6 +234,9 @@ func (d *Device) Load(r *mem.Region, i int) int64 {
 // does not occur if power fails on this operation.
 func (d *Device) Store(r *mem.Region, i int, v int64) {
 	d.Op(storeOp(r))
+	if d.shadow != nil {
+		d.shadowWrite(r, i)
+	}
 	r.Put(i, v)
 }
 
@@ -225,6 +248,9 @@ func (d *Device) Store(r *mem.Region, i int, v int64) {
 func (d *Device) StoreIndex(r *mem.Region, i int, v int64) {
 	if d.JITIndexCheckpoint {
 		d.Op(OpStoreSRAM)
+		if d.shadow != nil {
+			d.shadowWrite(r, i) // the value persists, so it is an NV write
+		}
 		r.Put(i, v)
 		return
 	}
@@ -238,6 +264,13 @@ func (d *Device) StoreIndex(r *mem.Region, i int, v int64) {
 // uniform commit-event emitter for wasted-work analysis.
 func (d *Device) Progress() {
 	d.rebootsSinceProgress = 0
+	if d.opsInRegion > d.stats.MaxRegionOps {
+		d.stats.MaxRegionOps = d.opsInRegion
+	}
+	d.opsInRegion = 0
+	if d.shadow != nil {
+		d.shadow.Commit()
+	}
 	if d.tracer != nil {
 		d.flushOpBatch()
 		d.emit(TraceCommit, d.section.Layer, 0)
@@ -257,6 +290,10 @@ func (d *Device) Attempt(f func()) (completed bool) {
 			if _, ok := r.(powerFailure); !ok {
 				panic(r)
 			}
+			if d.shadow != nil {
+				d.shadow.Abort()
+			}
+			d.opsInRegion = 0 // region aborted; it never committed
 			completed = false
 		}
 	}()

@@ -28,6 +28,10 @@ func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int
 	d.Op(OpDMASetup)
 	for i := 0; i < n; i++ {
 		d.Op(OpDMAWord)
+		if d.shadow != nil {
+			d.shadowRead(src, srcOff+i)
+			d.shadowWrite(dst, dstOff+i)
+		}
 		dst.Put(dstOff+i, src.Get(srcOff+i))
 	}
 }

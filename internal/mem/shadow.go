@@ -1,0 +1,130 @@
+package mem
+
+// Shadow is an opt-in memory-consistency tracker for nonvolatile regions.
+// It watches every word access between two durable commit points and flags
+// write-after-read (WAR) violations — the exact bug class loop continuation
+// must avoid (paper §4): if a charge cycle reads a nonvolatile word and
+// later overwrites it, re-executing that cycle after a brown-out reads the
+// *new* value where the original run read the old one, silently corrupting
+// the result. A write is safe when it dominates the reads of its word
+// (write-before-read is idempotent under replay), when the word's original
+// value was durably undo-logged first (SONIC's sparse updates), or when the
+// region implements its own crash-consistency protocol and is exempted
+// (commit cursors, redo logs, checkpoint areas).
+//
+// Per word the tracker keeps a three-state machine, reset at every commit
+// and every power failure:
+//
+//	untouched --read--> readFirst --write--> VIOLATION (unless logged/exempt)
+//	untouched --write-> written   (all later accesses safe)
+//
+// Only FRAM regions are tracked; SRAM is cleared on reboot, so volatile
+// WAR hazards cannot leak state across a power failure.
+type Shadow struct {
+	state   map[*Region][]uint8
+	exempt  map[*Region]bool
+	touched []touchedWord
+}
+
+type touchedWord struct {
+	r *Region
+	i int
+}
+
+// Per-word shadow states. wordLogged is a flag bit layered over the state:
+// a logged word may be rewritten freely until the next commit because its
+// pre-state is recoverable.
+const (
+	wordUntouched uint8 = 0
+	wordReadFirst uint8 = 1
+	wordWritten   uint8 = 2
+	wordLogged    uint8 = 4
+)
+
+// NewShadow returns an empty tracker.
+func NewShadow() *Shadow {
+	return &Shadow{
+		state:  make(map[*Region][]uint8),
+		exempt: make(map[*Region]bool),
+	}
+}
+
+// Exempt excludes a region from WAR checking. Use it for regions that carry
+// their own crash-consistency protocol (commit indices, undo/redo logs,
+// checkpoint slots): their write-after-read patterns are the mechanism that
+// makes everything else safe, not a hazard.
+func (s *Shadow) Exempt(r *Region) { s.exempt[r] = true }
+
+// NoteLogged records that the word's current value has been durably saved
+// (undo-logged) in this commit region, sanctioning later overwrites until
+// the next commit or abort.
+func (s *Shadow) NoteLogged(r *Region, i int) {
+	if s.exempt[r] || r.Kind() != FRAM {
+		return
+	}
+	st := s.words(r)
+	if st[i] == wordUntouched {
+		s.touched = append(s.touched, touchedWord{r, i})
+	}
+	st[i] |= wordLogged
+}
+
+// OnRead records a word read.
+func (s *Shadow) OnRead(r *Region, i int) {
+	if s.exempt[r] || r.Kind() != FRAM {
+		return
+	}
+	st := s.words(r)
+	if st[i] == wordUntouched {
+		st[i] = wordReadFirst
+		s.touched = append(s.touched, touchedWord{r, i})
+	}
+}
+
+// OnWrite records a word write and reports whether it is a WAR violation:
+// the word's first access in this commit region was a read, and its
+// pre-state was never logged.
+func (s *Shadow) OnWrite(r *Region, i int) bool {
+	if s.exempt[r] || r.Kind() != FRAM {
+		return false
+	}
+	st := s.words(r)
+	switch st[i] {
+	case wordUntouched:
+		st[i] = wordWritten
+		s.touched = append(s.touched, touchedWord{r, i})
+		return false
+	case wordReadFirst:
+		st[i] = wordWritten // report each hazardous word once per region
+		return true
+	default:
+		return false
+	}
+}
+
+// Commit marks a durable progress point: replay can no longer revisit the
+// accesses seen so far, so all word states reset.
+func (s *Shadow) Commit() { s.clear() }
+
+// Abort marks a power failure before commit. The in-flight region will be
+// replayed from its last commit, so word states reset the same way. (Any
+// violation it contained was already reported by OnWrite.)
+func (s *Shadow) Abort() { s.clear() }
+
+func (s *Shadow) clear() {
+	for _, t := range s.touched {
+		if st, ok := s.state[t.r]; ok && t.i < len(st) {
+			st[t.i] = wordUntouched
+		}
+	}
+	s.touched = s.touched[:0]
+}
+
+func (s *Shadow) words(r *Region) []uint8 {
+	st := s.state[r]
+	if len(st) < r.Len() {
+		st = make([]uint8, r.Len())
+		s.state[r] = st
+	}
+	return st
+}

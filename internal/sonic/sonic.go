@@ -467,6 +467,9 @@ func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region
 				orig := dev.Load(acc, row)
 				dev.Store(ctl, slotCanonical, orig)
 				dev.Store(ctl, slotRead, int64(pos+1))
+				// The original value is now durable: overwriting acc[row]
+				// is recoverable, not a WAR hazard.
+				dev.MarkLogged(acc, row)
 			}
 			canon := fixed.Acc(dev.Load(ctl, slotCanonical))
 			wv := fixed.Q15(dev.Load(l.W, pos))

@@ -1,0 +1,30 @@
+package sonic_test
+
+import (
+	"testing"
+
+	"repro/internal/intermittest"
+	"repro/internal/sonic"
+)
+
+// TestSONICWARSilent sweeps every brown-out placement with the WAR shadow
+// tracker armed, for both sparse-kernel strategies: loop-continuation's
+// idempodent iterations (double-buffered dense passes, undo-logged sparse
+// accumulates) must leave no unlogged read-then-write hazard, and every
+// schedule must reproduce the continuous-power logits bit-exactly.
+func TestSONICWARSilent(t *testing.T) {
+	qm, x := intermittest.TinyModel(1)
+	for _, rt := range []sonic.SONIC{{}, {SparseViaBuffering: true}} {
+		rep, err := intermittest.SweepRuntime(qm, x, rt,
+			intermittest.Options{CheckWAR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Errorf("%s not intermittence-safe: %s", rep.Runtime, rep.Summary())
+		}
+		if rep.GoldenWAR != 0 {
+			t.Errorf("%s golden run has WAR hazards: %v", rep.Runtime, rep.GoldenWAR)
+		}
+	}
+}

@@ -178,7 +178,11 @@ func (t TAILS) calibrate(s *sonic.Exec, sc *scratch) {
 	t.blockIn(dev, sc.in, 0, img.ActA, 0, outN+taps-1)
 	preShiftRow(dev, sc.in, 0, outN+taps-1, 1)
 	t.fir(dev, sc.out, 0, sc.in, 0, sc.coef, 0, taps, outN)
-	t.blockIn(dev, sc.out, outN, dest, 0, outN)
+	// Stage the partial-accumulate operand from ActA rather than dest: the
+	// DMA cost is identical, but the trial must never read words it later
+	// writes — that read-modify-write of dest (however dead its data) is
+	// exactly what the WAR consistency checker flags.
+	t.blockIn(dev, sc.out, outN, img.ActA, 0, outN)
 	t.addv(dev, sc.out, 0, sc.out, 0, sc.out, outN, outN)
 	t.blockOut(dev, dest, 0, sc.out, 0, outN)
 

@@ -1,0 +1,30 @@
+package tails_test
+
+import (
+	"testing"
+
+	"repro/internal/intermittest"
+	"repro/internal/tails"
+)
+
+// TestTAILSWARSilent sweeps every brown-out placement with the WAR shadow
+// tracker armed, for the accelerated and software-DMA variants: tile
+// calibration and the LEA block pipeline must never read NV words they
+// later overwrite without protocol protection, and every schedule must
+// reproduce that variant's continuous-power logits bit-exactly.
+func TestTAILSWARSilent(t *testing.T) {
+	qm, x := intermittest.TinyModel(1)
+	for _, rt := range []tails.TAILS{{}, {SoftwareDMA: true}} {
+		rep, err := intermittest.SweepRuntime(qm, x, rt,
+			intermittest.Options{CheckWAR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Errorf("%s not intermittence-safe: %s", rep.Runtime, rep.Summary())
+		}
+		if rep.GoldenWAR != 0 {
+			t.Errorf("%s golden run has WAR hazards: %v", rep.Runtime, rep.GoldenWAR)
+		}
+	}
+}

@@ -89,6 +89,9 @@ func New(dev *mcu.Device, logEntries int) (*Runtime, error) {
 		dev.FRAM.Release(state)
 		return nil, err
 	}
+	// Both regions implement the two-phase commit protocol itself; exempt
+	// them from WAR checking.
+	dev.MarkProtocol(state, log)
 	return &Runtime{
 		dev:   dev,
 		state: state,
@@ -183,6 +186,11 @@ func (rt *Runtime) replayAndFinish() {
 		addr := dev.Load(rt.log, 2*j)
 		val := dev.Load(rt.log, 2*j+1)
 		region, idx := rt.decode(addr)
+		// The home write is redo-logged: once stPhase is durably
+		// phaseCommit the task body never re-reads the old value, and a
+		// failure mid-replay rewrites the word from the log. Not a WAR
+		// hazard even though the body read this word earlier.
+		dev.MarkLogged(region, idx)
 		dev.Store(region, idx, val)
 	}
 	dev.Store(rt.state, stCur, dev.Load(rt.state, stNext))
