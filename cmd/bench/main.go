@@ -1,0 +1,146 @@
+// Command bench measures the simulator's wall-clock performance on the
+// workloads that dominate development time — the Fig. 9 measurement
+// matrix (72 cells: three networks × six runtimes × four power systems)
+// and the intermittence-correctness fuzz campaign — and records them as
+// JSON, seeding the repository's performance trajectory. Each perf PR
+// appends its before/after to the tracked BENCH_PR<n>.json files.
+//
+// Usage:
+//
+//	bench                      # measure and write BENCH_PR3.json
+//	bench -count 5 -out /tmp/b.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/intermittest"
+	"repro/internal/prof"
+)
+
+// preBulkFig9NsPerOp is BenchmarkFig9 at the commit before the bulk-charge
+// fast path (ad4056e), measured with -benchtime=1x on the reference
+// machine: 1.079 s per 72-cell matrix. The "before" of this PR's ≥3× goal.
+const preBulkFig9NsPerOp int64 = 1_079_000_000
+
+type cellTime struct {
+	Net     string `json:"net"`
+	Runtime string `json:"runtime"`
+	Power   string `json:"power"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+type report struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+
+	Fig9 struct {
+		BeforeNsPerOp int64      `json:"before_ns_per_op"`
+		AfterNsPerOp  int64      `json:"after_ns_per_op"`
+		Speedup       float64    `json:"speedup"`
+		Iterations    int        `json:"iterations"`
+		Cells         []cellTime `json:"cells"`
+	} `json:"fig9"`
+
+	Campaign struct {
+		NsPerOp    int64 `json:"ns_per_op"`
+		Iterations int   `json:"iterations"`
+	} `json:"intermittest_campaign"`
+}
+
+var profiler = prof.RegisterFlags()
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		count = flag.Int("count", 3, "timed iterations per workload")
+		seed  = flag.Uint64("seed", 1, "model seed")
+	)
+	flag.Parse()
+	if err := profiler.Start(); err != nil {
+		fail(err)
+	}
+	defer profiler.Stop()
+
+	var rep report
+	rep.GoVersion = runtime.Version()
+	rep.GOARCH = runtime.GOARCH
+
+	// Fig. 9 matrix: GENESIS preparation is untimed (as in BenchmarkFig9);
+	// the timed region is the full 72-cell measurement.
+	fmt.Fprintln(os.Stderr, "bench: preparing models (quick GENESIS sweep)...")
+	prepped, err := harness.PrepareAll(harness.PrepareOptions{Seed: *seed, Quick: true})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: Fig. 9 matrix × %d...\n", *count)
+	start := time.Now()
+	for i := 0; i < *count; i++ {
+		if _, err := harness.RunAll(prepped); err != nil {
+			fail(err)
+		}
+	}
+	rep.Fig9.BeforeNsPerOp = preBulkFig9NsPerOp
+	rep.Fig9.AfterNsPerOp = time.Since(start).Nanoseconds() / int64(*count)
+	rep.Fig9.Speedup = float64(preBulkFig9NsPerOp) / float64(rep.Fig9.AfterNsPerOp)
+	rep.Fig9.Iterations = *count
+
+	// Per-cell breakdown, one measurement each: where the time goes.
+	for _, p := range prepped {
+		input := p.Model.QuantizeInput(p.Input)
+		for _, rt := range harness.Runtimes() {
+			for _, pw := range harness.Powers() {
+				t0 := time.Now()
+				if _, err := harness.Measure(p.Net, p.Model, rt, pw, input); err != nil {
+					fail(err)
+				}
+				rep.Fig9.Cells = append(rep.Fig9.Cells, cellTime{
+					Net: p.Net, Runtime: rt.Name(), Power: pw.Name,
+					NsPerOp: time.Since(t0).Nanoseconds(),
+				})
+			}
+		}
+	}
+
+	// Intermittence fuzz campaign, as CI runs it: every runtime plus the
+	// two negative controls, WAR shadow armed.
+	fmt.Fprintf(os.Stderr, "bench: intermittest campaign × %d...\n", *count)
+	qm, x := intermittest.TinyModel(*seed)
+	rts := append(harness.Runtimes(),
+		core.Runtime(checkpoint.Checkpoint{Interval: 8}), intermittest.Broken{})
+	opt := intermittest.Options{Seed: *seed, CheckWAR: true}
+	start = time.Now()
+	for i := 0; i < *count; i++ {
+		if _, err := intermittest.Campaign(qm, x, rts, opt); err != nil {
+			fail(err)
+		}
+	}
+	rep.Campaign.NsPerOp = time.Since(start).Nanoseconds() / int64(*count)
+	rep.Campaign.Iterations = *count
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("fig9: %.3fs/op (%.2fx over pre-bulk %.3fs)  campaign: %.3fs/op  -> %s\n",
+		float64(rep.Fig9.AfterNsPerOp)/1e9, rep.Fig9.Speedup,
+		float64(preBulkFig9NsPerOp)/1e9, float64(rep.Campaign.NsPerOp)/1e9, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	profiler.Stop()
+	os.Exit(1)
+}

@@ -28,9 +28,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/intermittest"
+	"repro/internal/prof"
 	"repro/internal/sonic"
 	"repro/internal/tails"
 )
+
+// profiler serves the -cpuprofile/-memprofile flags; every exit path must
+// flush it because os.Exit skips deferred calls.
+var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
@@ -43,6 +48,9 @@ func main() {
 		maxB     = flag.Int("max", 0, "boundaries sampled above -limit (0 = default)")
 	)
 	flag.Parse()
+	if err := profiler.Start(); err != nil {
+		fail(err)
+	}
 
 	qm, x := intermittest.TinyModel(*seed)
 	opt := intermittest.Options{
@@ -55,15 +63,18 @@ func main() {
 		fail(fmt.Errorf("unknown runtime %q", *rtName))
 	}
 
+	code := 0
 	if *schedule != "" {
-		replay(qm, x, rts, *schedule, *war, *minimize)
-		return
+		code = replay(qm, x, rts, *schedule, *war, *minimize)
+	} else {
+		code = campaign(qm, x, rts, opt)
 	}
-	campaign(qm, x, rts, opt)
+	profiler.Stop()
+	os.Exit(code)
 }
 
 // replay runs one explicit brown-out schedule under each selected runtime.
-func replay(qm *dnn.QuantModel, x []float64, rts []core.Runtime, schedule string, war, minimize bool) {
+func replay(qm *dnn.QuantModel, x []float64, rts []core.Runtime, schedule string, war, minimize bool) int {
 	gaps, err := intermittest.ParseSchedule(schedule)
 	if err != nil {
 		fail(err)
@@ -85,14 +96,15 @@ func replay(qm *dnn.QuantModel, x []float64, rts []core.Runtime, schedule string
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // campaign sweeps brown-out placements under every selected runtime and
 // enforces the expected verdicts: protected runtimes must be clean, and
 // the negative controls (base, broken) must be flagged.
-func campaign(qm *dnn.QuantModel, x []float64, rts []core.Runtime, opt intermittest.Options) {
+func campaign(qm *dnn.QuantModel, x []float64, rts []core.Runtime, opt intermittest.Options) int {
 	rep, err := intermittest.Campaign(qm, x, rts, opt)
 	if err != nil {
 		fail(err)
@@ -118,7 +130,7 @@ func campaign(qm *dnn.QuantModel, x []float64, rts []core.Runtime, opt intermitt
 				r.Runtime, warFlag(opt.CheckWAR), intermittest.FormatSchedule(gaps))
 		}
 	}
-	os.Exit(exit)
+	return exit
 }
 
 // firstFailing rebuilds a checker for the dirty runtime and minimizes its
@@ -197,5 +209,6 @@ func runtimeByName(name string) core.Runtime {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "fuzz:", err)
+	profiler.Stop()
 	os.Exit(1)
 }

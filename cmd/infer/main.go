@@ -116,7 +116,7 @@ func main() {
 			i, className(names, pred), className(names, ex.Label), mark,
 			(st.LiveSeconds(dev.Cost.ClockHz)-before.LiveSeconds(dev.Cost.ClockHz))*1e3,
 			st.Reboots-before.Reboots,
-			(st.EnergyNJ-before.EnergyNJ)*1e-6)
+			(st.EnergyNJ()-before.EnergyNJ())*1e-6)
 	}
 	fmt.Printf("accuracy %d/%d; totals: %.3f s live, %.3f s dead, %d reboots, %.2f mJ\n",
 		correct, len(ds.Test),

@@ -19,7 +19,12 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/prof"
 )
+
+// profiler serves the -cpuprofile/-memprofile flags; fail() must flush it
+// because os.Exit skips deferred calls.
+var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
@@ -33,6 +38,10 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "rng seed")
 	)
 	flag.Parse()
+	if err := profiler.Start(); err != nil {
+		fail(err)
+	}
+	defer profiler.Stop()
 	if !*all && *fig == 0 && *table == 0 && !*claims {
 		flag.Usage()
 		os.Exit(2)
@@ -162,5 +171,6 @@ func writeCSV(dir string, t *harness.Table) error {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "paper:", err)
+	profiler.Stop()
 	os.Exit(1)
 }

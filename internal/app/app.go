@@ -112,12 +112,12 @@ func (p *Pipeline) Run(src Source, budgetJ float64) (Tally, error) {
 		case p.cfg.Oracle:
 			send = ev.Label == p.cfg.Interesting
 		case p.cfg.Runtime != nil:
-			before := p.dev.Stats().EnergyNJ
+			before := p.dev.Stats().EnergyNJ()
 			logits, err := p.cfg.Runtime.Infer(p.img, p.model.QuantizeInput(ev.X))
 			if err != nil {
 				return t, fmt.Errorf("app: inference: %w", err)
 			}
-			t.InferJ += (p.dev.Stats().EnergyNJ - before) * 1e-9
+			t.InferJ += (p.dev.Stats().EnergyNJ() - before) * 1e-9
 			send = core.Argmax(logits) == p.cfg.Interesting
 		}
 		if !send {

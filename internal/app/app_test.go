@@ -83,7 +83,7 @@ func deployModel(t testing.TB) (*dnn.QuantModel, float64, float64, float64) {
 	if _, err := (sonic.SONIC{}).Infer(img, qm.QuantizeInput(ds.Test[0].X)); err != nil {
 		t.Fatal(err)
 	}
-	return qm, tp, tn, dev.Stats().EnergyNJ * 1e-9
+	return qm, tp, tn, dev.Stats().EnergyNJ() * 1e-9
 }
 
 func TestPipelineOrderingMatchesModel(t *testing.T) {

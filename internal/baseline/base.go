@@ -83,11 +83,13 @@ func baseLayer(dev *mcu.Device, img *core.Image, li int, parity bool) bool {
 	case dnn.QReLU:
 		dev.SetSection(name, mcu.PhaseKernel)
 		n := q.InShape.Len()
+		dev.Ops(mcu.OpBranch, n)
+		dev.LoadRange(src, 0, n)
+		vals := make([]int64, n)
 		for i := 0; i < n; i++ {
-			dev.Op(mcu.OpBranch)
-			v := fixed.ReLU(fixed.Q15(dev.Load(src, i)))
-			dev.Store(dst, i, int64(v))
+			vals[i] = int64(fixed.ReLU(fixed.Q15(src.Get(i))))
 		}
+		dev.StoreRange(dst, 0, vals)
 	case dnn.QPool:
 		basePool(dev, q, name, src, dst)
 	case dnn.QFlatten:
@@ -116,13 +118,10 @@ func baseConv(dev *mcu.Device, img *core.Image, l *core.LayerImage, name string,
 	// positions do not fit in registers, so they live in AccA like
 	// everyone else's — but without double buffering or index writes.
 	acc := img.AccA
-	for f := 0; f < q.F; f++ {
-		base := f * positions
-		for i := 0; i < positions; i++ {
-			dev.Op(mcu.OpBranch)
-			dev.Store(acc, base+i, 0)
-		}
-	}
+	zeros := make([]int64, q.F*positions)
+	dev.Ops(mcu.OpBranch, len(zeros))
+	dev.StoreRange(acc, 0, zeros)
+	row := make([]int64, ow)
 	apply := func(widx int) {
 		wv := fixed.Q15(dev.Load(l.W, widx))
 		kx := widx % q.KW
@@ -131,14 +130,17 @@ func baseConv(dev *mcu.Device, img *core.Image, l *core.LayerImage, name string,
 		f := widx / (q.KW * q.KH * q.C)
 		base := f * positions
 		for oy := 0; oy < oh; oy++ {
+			srcRow := (ci*h+oy+ky)*w + kx
+			accRow := base + oy*ow
+			// One macro-op MAC per output row: same per-element op
+			// multiset as the scalar loop, charged in bulk.
+			dev.MACRange(src, srcRow, acc, accRow, ow)
 			for ox := 0; ox < ow; ox++ {
-				dev.Op(mcu.OpBranch)
-				x := fixed.Q15(dev.Load(src, (ci*h+oy+ky)*w+ox+kx))
-				dev.Op(mcu.OpFixedMul)
-				a := fixed.Acc(dev.Load(acc, base+oy*ow+ox))
-				dev.Op(mcu.OpFixedAdd)
-				dev.Store(acc, base+oy*ow+ox, int64(a.MAC(wv, x)))
+				x := fixed.Q15(src.Get(srcRow + ox))
+				a := fixed.Acc(acc.Get(accRow + ox))
+				row[ox] = int64(a.MAC(wv, x))
 			}
+			dev.StoreRange(acc, accRow, row)
 		}
 	}
 	if l.NZ != nil {
@@ -153,16 +155,18 @@ func baseConv(dev *mcu.Device, img *core.Image, l *core.LayerImage, name string,
 		}
 	}
 	// Finalize: bias and rescale into Q15 activations.
+	out := make([]int64, positions)
 	for f := 0; f < q.F; f++ {
 		b := fixed.Q15(dev.Load(l.B, f))
 		base := f * positions
+		dev.Ops(mcu.OpBranch, positions)
+		dev.LoadRange(acc, base, positions)
+		dev.Ops(mcu.OpFixedAdd, positions)
 		for i := 0; i < positions; i++ {
-			dev.Op(mcu.OpBranch)
-			a := fixed.Acc(dev.Load(acc, base+i))
-			dev.Op(mcu.OpFixedAdd)
-			out := a.AddQ(b).SatShiftSigned(q.Shift)
-			dev.Store(dst, base+i, int64(out))
+			a := fixed.Acc(acc.Get(base + i))
+			out[i] = int64(a.AddQ(b).SatShiftSigned(q.Shift))
 		}
+		dev.StoreRange(dst, base, out)
 	}
 }
 
@@ -174,13 +178,9 @@ func baseDense(dev *mcu.Device, l *core.LayerImage, name string, src, dst *mem.R
 	for o := 0; o < q.Out; o++ {
 		var acc fixed.Acc
 		row := o * q.In
+		dev.MACRange(l.W, row, src, 0, q.In)
 		for i := 0; i < q.In; i++ {
-			dev.Op(mcu.OpBranch)
-			wv := fixed.Q15(dev.Load(l.W, row+i))
-			x := fixed.Q15(dev.Load(src, i))
-			dev.Op(mcu.OpFixedMul)
-			dev.Op(mcu.OpFixedAdd)
-			acc = acc.MAC(wv, x)
+			acc = acc.MAC(fixed.Q15(l.W.Get(row+i)), fixed.Q15(src.Get(i)))
 		}
 		b := fixed.Q15(dev.Load(l.B, o))
 		dev.Op(mcu.OpFixedAdd)
@@ -196,13 +196,18 @@ func baseSparseDense(dev *mcu.Device, l *core.LayerImage, name string, src, dst 
 		var acc fixed.Acc
 		lo := int(dev.Load(l.RowPtr, o))
 		hi := int(dev.Load(l.RowPtr, o+1))
+		cnt := hi - lo
+		// Bulk-charge the uniform per-entry work; the activation loads
+		// stay scalar because the CSR column gather is not contiguous.
+		dev.Ops(mcu.OpBranch, cnt)
+		dev.LoadRange(l.W, lo, cnt)
+		dev.LoadRange(l.Cols, lo, cnt)
+		dev.Ops(mcu.OpFixedMul, cnt)
+		dev.Ops(mcu.OpFixedAdd, cnt)
 		for p := lo; p < hi; p++ {
-			dev.Op(mcu.OpBranch)
-			wv := fixed.Q15(dev.Load(l.W, p))
-			c := int(dev.Load(l.Cols, p))
+			wv := fixed.Q15(l.W.Get(p))
+			c := int(l.Cols.Get(p))
 			x := fixed.Q15(dev.Load(src, c))
-			dev.Op(mcu.OpFixedMul)
-			dev.Op(mcu.OpFixedAdd)
 			acc = acc.MAC(wv, x)
 		}
 		b := fixed.Q15(dev.Load(l.B, o))
@@ -221,11 +226,12 @@ func basePool(dev *mcu.Device, q *dnn.QuantLayer, name string, src, dst *mem.Reg
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				best := fixed.MinusOne
+				dev.Ops(mcu.OpBranch, q.Window*q.Window)
 				for ky := 0; ky < q.Window; ky++ {
+					rowStart := (ci*h+oy*q.Window+ky)*w + ox*q.Window
+					dev.LoadRange(src, rowStart, q.Window)
 					for kx := 0; kx < q.Window; kx++ {
-						dev.Op(mcu.OpBranch)
-						v := fixed.Q15(dev.Load(src, (ci*h+oy*q.Window+ky)*w+ox*q.Window+kx))
-						best = fixed.Max(best, v)
+						best = fixed.Max(best, fixed.Q15(src.Get(rowStart+kx)))
 					}
 				}
 				dev.Store(dst, n, int64(best))

@@ -153,7 +153,7 @@ func TestBaseFasterThanTiles(t *testing.T) {
 		if _, err := rt.Infer(img, qin); err != nil {
 			t.Fatal(err)
 		}
-		return dev.Stats().EnergyNJ
+		return dev.Stats().EnergyNJ()
 	}
 	base := run(Base{})
 	t8 := run(Tile{TileSize: 8})

@@ -40,6 +40,19 @@ func (t Tile) Name() string { return fmt.Sprintf("tile-%d", t.TileSize) }
 // ctl-slot index within the image control block used for the pass cursor.
 const tileCursorSlot = 0
 
+// minBulk is the chunk size below which a rangeFn falls back to the scalar
+// pass body: tiny chunks don't amortize the Range machinery.
+const minBulk = 4
+
+// loadKind returns the load op kind for a region's memory (the tile
+// rangeFns charge repeated or strided loads of read-only data in bulk).
+func loadKind(r *mem.Region) mcu.OpKind {
+	if r.Kind() == mem.FRAM {
+		return mcu.OpLoadFRAM
+	}
+	return mcu.OpLoadSRAM
+}
+
 // Infer builds the task graph over the deployed image and drives it to
 // completion.
 func (t Tile) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
@@ -82,8 +95,17 @@ func (t Tile) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 // passFn executes one loop iteration of a pass.
 type passFn func(c *task.Ctx, iter int)
 
-// addPassFn registers a pass: name, layer label, iteration count, body.
-type addPassFn func(name, layer string, n int, f passFn)
+// rangeFn executes iterations [lo, hi) of a pass in one call. Providers
+// bulk-charge uniform chunks through the device's Range macro-ops and the
+// task runtime's ReadRange/WriteRange, falling back to the scalar passFn
+// body per iteration where bulking is illegal (privatized words, scattered
+// accesses). The charged op multiset per iteration is identical to the
+// scalar body's.
+type rangeFn func(c *task.Ctx, lo, hi int)
+
+// addPassFn registers a pass: name, layer label, iteration count, scalar
+// body, and optional bulk range body (nil for scalar-only passes).
+type addPassFn func(name, layer string, n int, f passFn, fr rangeFn)
 
 // tileBuilder assembles the per-layer pass tasks. Because the layer graph
 // is static, each task closes over its source/destination buffers; only
@@ -103,14 +125,16 @@ func (b *tileBuilder) build() (bool, error) {
 		layer string
 		n     int
 		f     passFn
+		fr    rangeFn
 	}
-	addPass := func(name, layer string, n int, f passFn) {
+	addPass := func(name, layer string, n int, f passFn, fr rangeFn) {
 		passes = append(passes, struct {
 			name  string
 			layer string
 			n     int
 			f     passFn
-		}{name, layer, n, f})
+			fr    rangeFn
+		}{name, layer, n, f, fr})
 	}
 
 	for li := range b.img.Layers {
@@ -130,11 +154,27 @@ func (b *tileBuilder) build() (bool, error) {
 			parity = !parity
 		case dnn.QReLU:
 			n := q.InShape.Len()
-			addPass("relu", layer, n, func(c *task.Ctx, i int) {
+			reluIter := func(c *task.Ctx, i int) {
 				dev := c.Dev()
 				dev.Op(mcu.OpBranch)
 				v := fixed.ReLU(fixed.Q15(c.Read(src, i)))
 				c.Write(dst, i, int64(v))
+			}
+			vals := make([]int64, b.k)
+			addPass("relu", layer, n, reluIter, func(c *task.Ctx, lo, hi int) {
+				nn := hi - lo
+				if nn < minBulk || !c.Fresh(src, lo, nn) || !c.Fresh(dst, lo, nn) {
+					for i := lo; i < hi; i++ {
+						reluIter(c, i)
+					}
+					return
+				}
+				c.Dev().Ops(mcu.OpBranch, nn)
+				c.ReadRange(src, lo, nn)
+				for j := 0; j < nn; j++ {
+					vals[j] = int64(fixed.ReLU(fixed.Q15(src.Get(lo + j))))
+				}
+				c.WriteRange(dst, lo, vals[:nn])
 			})
 			parity = !parity
 		case dnn.QPool:
@@ -164,8 +204,12 @@ func (b *tileBuilder) build() (bool, error) {
 			if end > p.n {
 				end = p.n
 			}
-			for i := base; i < end; i++ {
-				p.f(c, i)
+			if p.fr != nil {
+				p.fr(c, base, end)
+			} else {
+				for i := base; i < end; i++ {
+					p.f(c, i)
+				}
 			}
 			dev.SetSection(p.layer, mcu.PhaseControl)
 			if end >= p.n {
@@ -196,25 +240,46 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 		elems = l.NZ.Len()
 	}
 
-	// apply performs one MAC: filter element `e` at output position `i`.
-	apply := func(c *task.Ctx, e, i int) {
-		dev := c.Dev()
-		widx := e
-		first := false
-		if l.NZ != nil {
-			widx = int(dev.Load(l.NZ, e))
-		} else {
-			first = widx%elemsPerFilter == 0
-		}
-		wv := fixed.Q15(dev.Load(l.W, widx))
+	// Host-side decode memos, built once per layer: per weight index the
+	// unpacked filter coordinates folded into base offsets, per output
+	// position its row-major input offset. They replace the div/mod chains
+	// the kernel closure would otherwise recompute on every MAC; the
+	// simulated op stream is unchanged.
+	type wDecode struct {
+		srcBase int32 // (ci*h+ky)*w + kx
+		accBase int32 // f * positions
+		first   bool  // first element of its filter (dense layout)
+	}
+	wTab := make([]wDecode, l.W.Len())
+	for widx := range wTab {
 		kx := widx % q.KW
 		ky := (widx / q.KW) % q.KH
 		ci := (widx / (q.KW * q.KH)) % q.C
 		f := widx / elemsPerFilter
-		oy, ox := i/ow, i%ow
-		x := fixed.Q15(dev.Load(src, (ci*h+oy+ky)*w+ox+kx))
+		wTab[widx] = wDecode{
+			srcBase: int32((ci*h+ky)*w + kx),
+			accBase: int32(f * positions),
+			first:   widx%elemsPerFilter == 0,
+		}
+	}
+	posTab := make([]int32, positions)
+	for i := range posTab {
+		posTab[i] = int32((i/ow)*w + i%ow)
+	}
+
+	// apply performs one MAC: filter element `e` at output position `i`.
+	apply := func(c *task.Ctx, e, i int) {
+		dev := c.Dev()
+		widx := e
+		if l.NZ != nil {
+			widx = int(dev.Load(l.NZ, e))
+		}
+		wd := wTab[widx]
+		first := l.NZ == nil && wd.first
+		wv := fixed.Q15(dev.Load(l.W, widx))
+		x := fixed.Q15(dev.Load(src, int(wd.srcBase)+int(posTab[i])))
 		dev.Op(mcu.OpFixedMul)
-		pos := f*positions + i
+		pos := int(wd.accBase) + i
 		var a fixed.Acc
 		if !first {
 			a = fixed.Acc(c.Read(acc, pos))
@@ -225,16 +290,84 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 
 	if l.NZ != nil {
 		total := q.F * positions
-		addPass("conv-zero", layer, total, func(c *task.Ctx, i int) {
+		zeroIter := func(c *task.Ctx, i int) {
 			c.Dev().Op(mcu.OpBranch)
 			c.Write(acc, i, 0)
+		}
+		zeros := make([]int64, b.k)
+		addPass("conv-zero", layer, total, zeroIter, func(c *task.Ctx, lo, hi int) {
+			n := hi - lo
+			if n < minBulk || !c.Fresh(acc, lo, n) {
+				for i := lo; i < hi; i++ {
+					zeroIter(c, i)
+				}
+				return
+			}
+			c.Dev().Ops(mcu.OpBranch, n)
+			c.WriteRange(acc, lo, zeros[:n])
 		})
 	}
-	addPass("conv-acc", layer, elems*positions, func(c *task.Ctx, it int) {
+
+	// accIter is the scalar conv-acc body; accRange (dense weights only)
+	// is its bulk form, chunked by filter element and output row so every
+	// charged range is uniform in op kinds and contiguous in memory.
+	accIter := func(c *task.Ctx, it int) {
 		c.Dev().Op(mcu.OpBranch)
 		apply(c, it/positions, it%positions)
-	})
-	addPass("conv-fin", layer, q.F*positions, func(c *task.Ctx, i int) {
+	}
+	var accRange rangeFn
+	if l.NZ == nil {
+		vals := make([]int64, b.k)
+		wKind := loadKind(l.W)
+		accRange = func(c *task.Ctx, lo, hi int) {
+			dev := c.Dev()
+			for lo < hi {
+				e, i0 := lo/positions, lo%positions
+				n := hi - lo
+				if m := positions - i0; m < n {
+					n = m // one filter element
+				}
+				if m := ow - i0%ow; m < n {
+					n = m // one output row: contiguous source loads
+				}
+				wd := wTab[e]
+				pos0 := int(wd.accBase) + i0
+				if n < minBulk || !c.Fresh(acc, pos0, n) {
+					for j := 0; j < n; j++ {
+						accIter(c, lo+j)
+					}
+					lo += n
+					continue
+				}
+				dev.Ops(mcu.OpBranch, n)
+				// n loads of the same read-only weight word, bulk-charged;
+				// per-word shadow records only matter for words that are
+				// later written, which deployed weights never are.
+				dev.Ops(wKind, n)
+				wv := fixed.Q15(l.W.Get(e))
+				srcStart := int(wd.srcBase) + int(posTab[i0])
+				dev.LoadRange(src, srcStart, n)
+				dev.Ops(mcu.OpFixedMul, n)
+				if !wd.first {
+					c.ReadRange(acc, pos0, n) // fresh, so it cannot decline
+					dev.Ops(mcu.OpFixedAdd, n)
+				}
+				for j := 0; j < n; j++ {
+					x := fixed.Q15(src.Get(srcStart + j))
+					var a fixed.Acc
+					if !wd.first {
+						a = fixed.Acc(acc.Get(pos0 + j))
+					}
+					vals[j] = int64(a.MAC(wv, x))
+				}
+				c.WriteRange(acc, pos0, vals[:n])
+				lo += n
+			}
+		}
+	}
+	addPass("conv-acc", layer, elems*positions, accIter, accRange)
+
+	finIter := func(c *task.Ctx, i int) {
 		dev := c.Dev()
 		dev.Op(mcu.OpBranch)
 		f := i / positions
@@ -242,6 +375,36 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 		a := fixed.Acc(c.Read(acc, i))
 		dev.Op(mcu.OpFixedAdd)
 		c.Write(dst, i, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	}
+	finVals := make([]int64, b.k)
+	bKind := loadKind(l.B)
+	addPass("conv-fin", layer, q.F*positions, finIter, func(c *task.Ctx, lo, hi int) {
+		dev := c.Dev()
+		for lo < hi {
+			f := lo / positions
+			n := hi - lo
+			if m := positions - lo%positions; m < n {
+				n = m // one filter: a single bias word
+			}
+			if n < minBulk || !c.Fresh(acc, lo, n) || !c.Fresh(dst, lo, n) {
+				for j := 0; j < n; j++ {
+					finIter(c, lo+j)
+				}
+				lo += n
+				continue
+			}
+			dev.Ops(mcu.OpBranch, n)
+			dev.Ops(bKind, n) // n loads of the same read-only bias word
+			bq := fixed.Q15(l.B.Get(f))
+			c.ReadRange(acc, lo, n)
+			dev.Ops(mcu.OpFixedAdd, n)
+			for j := 0; j < n; j++ {
+				a := fixed.Acc(acc.Get(lo + j))
+				finVals[j] = int64(a.AddQ(bq).SatShiftSigned(q.Shift))
+			}
+			c.WriteRange(dst, lo, finVals[:n])
+			lo += n
+		}
 	})
 }
 
@@ -252,7 +415,7 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 	l *core.LayerImage, layer string, src, dst *mem.Region) {
 	q := l.Q
 	acc := b.img.AccA
-	addPass("fc-acc", layer, q.In*q.Out, func(c *task.Ctx, it int) {
+	accIter := func(c *task.Ctx, it int) {
 		dev := c.Dev()
 		dev.Op(mcu.OpBranch)
 		i, o := it/q.Out, it%q.Out
@@ -265,14 +428,73 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 			dev.Op(mcu.OpFixedAdd)
 		}
 		c.Write(acc, o, int64(a.MAC(wv, x)))
+	}
+	vals := make([]int64, b.k)
+	wKind, srcKind := loadKind(l.W), loadKind(src)
+	addPass("fc-acc", layer, q.In*q.Out, accIter, func(c *task.Ctx, lo, hi int) {
+		dev := c.Dev()
+		for lo < hi {
+			i, o0 := lo/q.Out, lo%q.Out
+			n := hi - lo
+			if m := q.Out - o0; m < n {
+				n = m // one input element
+			}
+			if n < minBulk || !c.Fresh(acc, o0, n) {
+				for j := 0; j < n; j++ {
+					accIter(c, lo+j)
+				}
+				lo += n
+				continue
+			}
+			dev.Ops(mcu.OpBranch, n)
+			dev.Ops(srcKind, n) // n loads of the same input word
+			x := fixed.Q15(src.Get(i))
+			dev.Ops(wKind, n) // n strided read-only weight loads
+			dev.Ops(mcu.OpFixedMul, n)
+			if i > 0 {
+				c.ReadRange(acc, o0, n)
+				dev.Ops(mcu.OpFixedAdd, n)
+			}
+			for j := 0; j < n; j++ {
+				wv := fixed.Q15(l.W.Get((o0+j)*q.In + i))
+				var a fixed.Acc
+				if i > 0 {
+					a = fixed.Acc(acc.Get(o0 + j))
+				}
+				vals[j] = int64(a.MAC(wv, x))
+			}
+			c.WriteRange(acc, o0, vals[:n])
+			lo += n
+		}
 	})
-	addPass("fc-fin", layer, q.Out, func(c *task.Ctx, o int) {
+	finIter := func(c *task.Ctx, o int) {
 		dev := c.Dev()
 		dev.Op(mcu.OpBranch)
 		bq := fixed.Q15(dev.Load(l.B, o))
 		a := fixed.Acc(c.Read(acc, o))
 		dev.Op(mcu.OpFixedAdd)
 		c.Write(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	}
+	finVals := make([]int64, b.k)
+	addPass("fc-fin", layer, q.Out, finIter, func(c *task.Ctx, lo, hi int) {
+		dev := c.Dev()
+		n := hi - lo
+		if n < minBulk || !c.Fresh(acc, lo, n) || !c.Fresh(dst, lo, n) {
+			for o := lo; o < hi; o++ {
+				finIter(c, o)
+			}
+			return
+		}
+		dev.Ops(mcu.OpBranch, n)
+		dev.LoadRange(l.B, lo, n)
+		c.ReadRange(acc, lo, n)
+		dev.Ops(mcu.OpFixedAdd, n)
+		for j := 0; j < n; j++ {
+			a := fixed.Acc(acc.Get(lo + j))
+			bq := fixed.Q15(l.B.Get(lo + j))
+			finVals[j] = int64(a.AddQ(bq).SatShiftSigned(q.Shift))
+		}
+		c.WriteRange(dst, lo, finVals[:n])
 	})
 }
 
@@ -287,7 +509,7 @@ func (b *tileBuilder) sparsePasses(addPass addPassFn,
 	addPass("spfc-zero", layer, q.Out, func(c *task.Ctx, o int) {
 		c.Dev().Op(mcu.OpBranch)
 		c.Write(acc, o, 0)
-	})
+	}, nil)
 	// Row lookup per nonzero: the device walks RowPtr lazily by keeping a
 	// "current row" volatile variable... but volatile state cannot span
 	// tasks, so each iteration binary-searches RowPtr. This is what a real
@@ -303,7 +525,7 @@ func (b *tileBuilder) sparsePasses(addPass addPassFn,
 		a := fixed.Acc(c.Read(acc, row))
 		dev.Op(mcu.OpFixedAdd)
 		c.Write(acc, row, int64(a.MAC(wv, x)))
-	})
+	}, nil)
 	addPass("spfc-fin", layer, q.Out, func(c *task.Ctx, o int) {
 		dev := c.Dev()
 		dev.Op(mcu.OpBranch)
@@ -311,7 +533,7 @@ func (b *tileBuilder) sparsePasses(addPass addPassFn,
 		a := fixed.Acc(c.Read(acc, o))
 		dev.Op(mcu.OpFixedAdd)
 		c.Write(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
-	})
+	}, nil)
 }
 
 // sparseRowOf binary-searches RowPtr for the row containing nonzero p.
@@ -348,5 +570,5 @@ func (b *tileBuilder) poolPass(addPass addPassFn,
 			}
 		}
 		c.Write(dst, i, int64(best))
-	})
+	}, nil)
 }

@@ -135,7 +135,7 @@ func TestTaskBasedBeatsCheckpointing(t *testing.T) {
 			t.Fatal(err)
 		}
 		_, ierr := rt.Infer(img, qin)
-		return dev.Stats().EnergyNJ, ierr
+		return dev.Stats().EnergyNJ(), ierr
 	}
 
 	sonicE, err := run(sonic.SONIC{}, energy.Continuous{})

@@ -1,0 +1,162 @@
+package energy
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// scalarConsumeN replays ConsumeN's contract through the scalar interface:
+// sequential Consume(e) calls, also charging the op that fails, returning
+// how many were funded. This is the reference ConsumeN is checked against.
+func scalarConsumeN(s System, e float64, n int) int {
+	for i := 0; i < n; i++ {
+		if !s.Consume(e) {
+			return i
+		}
+	}
+	return n
+}
+
+// bulkSystem pairs a system with an equally-configured twin so the bulk
+// path on one can be replayed scalar on the other.
+type bulkPair struct {
+	name   string
+	bulk   System                                 // driven through ConsumeN
+	scalar System                                 // driven through sequential Consume
+	level  func(a, b System) (int64, int64, bool) // internal state, if any
+}
+
+func intLevel(a, b System) (int64, int64, bool) {
+	return a.(*Intermittent).remainingPJ, b.(*Intermittent).remainingPJ, true
+}
+
+func pairs() []bulkPair {
+	rf := ConstantHarvester{Watts: DefaultRFWatts}
+	mkRec := func() System { return NewRecorder(NewIntermittent(Cap100uF, rf), 7) }
+	return []bulkPair{
+		{name: "continuous", bulk: Continuous{}, scalar: Continuous{}},
+		{name: "intermittent",
+			bulk:   NewIntermittent(Cap100uF, rf),
+			scalar: NewIntermittent(Cap100uF, rf),
+			level:  intLevel},
+		{name: "fail-after-ops",
+			bulk:   NewFailAfterOps(137, 61),
+			scalar: NewFailAfterOps(137, 61)},
+		{name: "fail-schedule",
+			bulk:   NewFailSchedule([]int{97, 13, 1, 250}),
+			scalar: NewFailSchedule([]int{97, 13, 1, 250})},
+		{name: "recorder", bulk: mkRec(), scalar: mkRec(),
+			level: func(a, b System) (int64, int64, bool) {
+				return a.(*Recorder).Inner.remainingPJ, b.(*Recorder).Inner.remainingPJ, true
+			}},
+	}
+}
+
+// TestConsumeNMatchesScalar is the bulk path's property test: for every
+// power system, an arbitrary interleaving of ConsumeN batches, single
+// Consume calls, and recharges leaves the system in a state bit-identical
+// to the same interleaving with each batch unrolled into sequential scalar
+// calls — including the funded count of every partial batch (the failing
+// op's exact index) and, for Recorder, the recorded sample points.
+func TestConsumeNMatchesScalar(t *testing.T) {
+	costs := []float64{0, 0.1, 2.5, 10.4, 32.1, 100}
+	for _, p := range pairs() {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			bc, ok := p.bulk.(BulkConsumer)
+			if !ok {
+				t.Fatalf("%T does not implement BulkConsumer", p.bulk)
+			}
+			rng := rand.New(rand.NewPCG(0xb01c, 0xcafe))
+			midBatchFails := 0
+			for step := 0; step < 4000; step++ {
+				e := costs[rng.IntN(len(costs))]
+				if rng.IntN(4) == 0 { // single scalar op on both twins
+					ra, rb := p.bulk.Consume(e), p.scalar.Consume(e)
+					if ra != rb {
+						t.Fatalf("step %d: Consume(%v): bulk=%v scalar=%v", step, e, ra, rb)
+					}
+					if !ra {
+						p.bulk.Recharge()
+						p.scalar.Recharge()
+					}
+				} else {
+					n := 1 + rng.IntN(64)
+					got := bc.ConsumeN(e, n)
+					want := scalarConsumeN(p.scalar, e, n)
+					if got != want {
+						t.Fatalf("step %d: ConsumeN(%v, %d): bulk funded %d, scalar funded %d",
+							step, e, n, got, want)
+					}
+					if got < n {
+						if got > 0 {
+							midBatchFails++
+						}
+						p.bulk.Recharge()
+						p.scalar.Recharge()
+					}
+				}
+				if p.level != nil {
+					if a, b, ok := p.level(p.bulk, p.scalar); ok && a != b {
+						t.Fatalf("step %d: level diverged: bulk=%d scalar=%d pJ", step, a, b)
+					}
+				}
+			}
+			// Failure-capable systems must have exercised failures landing
+			// strictly inside a batch, not only at its first op.
+			if _, cont := p.bulk.(Continuous); !cont && midBatchFails == 0 {
+				t.Fatalf("no mid-batch failure was exercised; property vacuous")
+			}
+			if rb, ok := p.bulk.(*Recorder); ok {
+				rs := p.scalar.(*Recorder)
+				if len(rb.Trace()) == 0 || !reflect.DeepEqual(rb.Trace(), rs.Trace()) {
+					t.Fatalf("recorder traces diverge: bulk %d points, scalar %d points",
+						len(rb.Trace()), len(rs.Trace()))
+				}
+			}
+		})
+	}
+}
+
+// TestConsumePJMatchesConsume checks the per-op integer fast path: for
+// every system implementing PJConsumer, ConsumePJ(PicojoulesOf(e)) returns
+// the same verdict and leaves the same state as Consume(e).
+func TestConsumePJMatchesConsume(t *testing.T) {
+	for _, p := range pairs() {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			pc, ok := p.bulk.(PJConsumer)
+			if _, rec := p.bulk.(*Recorder); rec {
+				// Recorder deliberately opts out: its per-op sampling needs
+				// the Consume entry point so the device never bypasses it.
+				if ok {
+					t.Fatalf("Recorder must not implement PJConsumer")
+				}
+				return
+			}
+			if !ok {
+				t.Fatalf("%T does not implement PJConsumer", p.bulk)
+			}
+			rng := rand.New(rand.NewPCG(0x9a55, 0xfeed))
+			costs := []float64{0.1, 2.5, 10.4, 100}
+			for step := 0; step < 20000; step++ {
+				e := costs[rng.IntN(len(costs))]
+				ra := pc.ConsumePJ(PicojoulesOf(e))
+				rb := p.scalar.Consume(e)
+				if ra != rb {
+					t.Fatalf("step %d: ConsumePJ(%v)=%v Consume=%v", step, e, ra, rb)
+				}
+				if p.level != nil {
+					if a, b, ok := p.level(p.bulk, p.scalar); ok && a != b {
+						t.Fatalf("step %d: level diverged: %d vs %d pJ", step, a, b)
+					}
+				}
+				if !ra {
+					p.bulk.Recharge()
+					p.scalar.Recharge()
+				}
+			}
+		})
+	}
+}

@@ -34,11 +34,55 @@ type System interface {
 	Reset()
 }
 
+// BulkConsumer is an optional System extension used by the device model's
+// bulk-charge fast path: ConsumeN charges n operations of eachNJ nanojoules
+// in one call and returns how many of them were funded. Its contract is
+// exact equivalence with the scalar path — after ConsumeN the system's
+// state (and any recorded samples) must be bit-identical to what funded
+// sequential Consume(eachNJ) calls would have left, plus one further
+// failing call when funded < n, because the scalar device also charges the
+// op that browns out. Implementations are analytic (O(1) per call), which
+// is what makes O(1)-per-kernel-loop accounting possible.
+type BulkConsumer interface {
+	ConsumeN(eachNJ float64, n int) int
+}
+
+// PJConsumer is an optional System extension used by the device model's
+// per-operation fast path: ConsumePJ drains an already-quantized integer
+// picojoule cost, skipping the float→pJ conversion Consume performs on
+// every call. Its contract is exact equivalence with Consume(e) where
+// pj == PicojoulesOf(e) — both paths perform the identical integer
+// subtraction, so which one the device uses is unobservable in results.
+// Recorder deliberately does not implement it: its per-op level sampling
+// needs the Consume entry point.
+type PJConsumer interface {
+	ConsumePJ(pj int64) bool
+}
+
+// pjOf converts a nanojoule cost to integer picojoules. All capacitor
+// accounting is done in integer pJ so that n sequential subtractions and
+// one n-fold subtraction are the same arithmetic — the associativity the
+// bulk path's bit-exactness guarantee rests on (float64 accumulation is
+// order-sensitive; int64 is not). The cost model's resolution is 0.1 nJ,
+// far above 1 pJ, so the quantization is lossless for op costs.
+func pjOf(e float64) int64 { return int64(math.Round(e * 1000)) }
+
+// PicojoulesOf converts a nanojoule figure to the integer picojoules this
+// package accounts in — exposed so the device model quantizes its cost
+// table with the same rounding the capacitor applies to Consume.
+func PicojoulesOf(e float64) int64 { return pjOf(e) }
+
 // Continuous is mains-like power: never fails.
 type Continuous struct{}
 
 // Consume always succeeds.
 func (Continuous) Consume(float64) bool { return true }
+
+// ConsumeN funds every op.
+func (Continuous) ConsumeN(_ float64, n int) int { return n }
+
+// ConsumePJ always succeeds.
+func (Continuous) ConsumePJ(int64) bool { return true }
 
 // Recharge is never needed and returns 0.
 func (Continuous) Recharge() float64 { return 0 }
@@ -156,12 +200,15 @@ func (h *SolarHarvester) PowerW() float64 {
 	return p
 }
 
-// Intermittent is a capacitor-buffered harvesting power system.
+// Intermittent is a capacitor-buffered harvesting power system. The buffer
+// level is tracked in integer picojoules (see pjOf) so the bulk path's
+// n-fold subtraction is bit-identical to n scalar subtractions.
 type Intermittent struct {
 	Cap       Capacitor
 	Harvester Harvester
 
-	remaining   float64
+	remainingPJ int64
+	usablePJ    int64
 	harvestedNJ float64
 	deadSec     float64
 }
@@ -175,19 +222,51 @@ func NewIntermittent(c Capacitor, h Harvester) *Intermittent {
 
 // Consume drains e nJ, failing when the buffer empties.
 func (p *Intermittent) Consume(e float64) bool {
-	p.remaining -= e
-	return p.remaining >= 0
+	p.remainingPJ -= pjOf(e)
+	return p.remainingPJ >= 0
+}
+
+// ConsumePJ drains an already-quantized cost: the same subtraction as
+// Consume, minus the per-call float→pJ conversion.
+func (p *Intermittent) ConsumePJ(pj int64) bool {
+	p.remainingPJ -= pj
+	return p.remainingPJ >= 0
+}
+
+// ConsumeN drains up to n ops of e nJ analytically: the funded count is
+// floor(remaining/cost), and a partial batch also charges the failing op,
+// exactly as the scalar loop does.
+func (p *Intermittent) ConsumeN(e float64, n int) int {
+	dec := pjOf(e)
+	if dec <= 0 {
+		if p.remainingPJ >= 0 {
+			return n
+		}
+		return 0
+	}
+	if p.remainingPJ < 0 {
+		p.remainingPJ -= dec
+		return 0
+	}
+	funded := p.remainingPJ / dec
+	if funded >= int64(n) {
+		p.remainingPJ -= int64(n) * dec
+		return n
+	}
+	p.remainingPJ -= (funded + 1) * dec
+	return int(funded)
 }
 
 // Recharge refills the capacitor and returns the dead time, computed from
 // the harvester's power for this cycle.
 func (p *Intermittent) Recharge() float64 {
-	deficit := p.Cap.UsableNJ() - math.Max(p.remaining, 0)
-	p.remaining = p.Cap.UsableNJ()
+	deficitPJ := p.usablePJ - max(p.remainingPJ, 0)
+	p.remainingPJ = p.usablePJ
 	w := p.Harvester.PowerW()
 	if w <= 0 {
 		panic("energy: harvester produced non-positive power")
 	}
+	deficit := float64(deficitPJ) * 1e-3 // nJ
 	d := deficit * 1e-9 / w
 	p.harvestedNJ += deficit
 	p.deadSec += d
@@ -212,11 +291,12 @@ func (p *Intermittent) BufferEnergy() float64 { return p.Cap.UsableNJ() }
 
 // LevelNJ reports the remaining buffered energy; the tracing subsystem
 // samples it to render the sawtooth voltage/energy track of Fig. 6.
-func (p *Intermittent) LevelNJ() float64 { return math.Max(p.remaining, 0) }
+func (p *Intermittent) LevelNJ() float64 { return float64(max(p.remainingPJ, 0)) * 1e-3 }
 
 // Reset refills the capacitor and discards harvest observations.
 func (p *Intermittent) Reset() {
-	p.remaining = p.Cap.UsableNJ()
+	p.usablePJ = pjOf(p.Cap.UsableNJ())
+	p.remainingPJ = p.usablePJ
 	p.harvestedNJ = 0
 	p.deadSec = 0
 }
@@ -258,6 +338,29 @@ func (f *FailAfterOps) Consume(float64) bool {
 		return false
 	}
 	return true
+}
+
+// ConsumePJ counts one operation; the cost is irrelevant to this source.
+func (f *FailAfterOps) ConsumePJ(int64) bool { return f.Consume(0) }
+
+// ConsumeN counts a batch of up to n ops, stopping at the configured
+// boundary. The op arithmetic is count-exact: a partial batch advances the
+// counter past the failing op, exactly as the scalar loop does.
+func (f *FailAfterOps) ConsumeN(_ float64, n int) int {
+	if f.limit <= 0 {
+		return n // exhausted schedule: behave as continuous
+	}
+	avail := f.limit - 1 - f.count
+	if avail < 0 {
+		avail = 0
+	}
+	if n <= avail {
+		f.count += n
+		return n
+	}
+	f.count += avail + 1
+	f.failed = true
+	return avail
 }
 
 // Recharge arms the next failure window.
@@ -310,6 +413,32 @@ func (f *FailSchedule) Consume(float64) bool {
 	}
 	f.count++
 	return f.count < gap
+}
+
+// ConsumePJ counts one operation; the cost is irrelevant to this source.
+func (f *FailSchedule) ConsumePJ(int64) bool { return f.Consume(0) }
+
+// ConsumeN counts a batch of up to n ops against the current cycle's
+// boundary, with the same count-exact partial-batch semantics as
+// FailAfterOps.ConsumeN.
+func (f *FailSchedule) ConsumeN(_ float64, n int) int {
+	if f.cycle >= len(f.Gaps) {
+		return n // exhausted schedule: behave as continuous
+	}
+	gap := f.Gaps[f.cycle]
+	if gap < 1 {
+		gap = 1
+	}
+	avail := gap - 1 - f.count
+	if avail < 0 {
+		avail = 0
+	}
+	if n <= avail {
+		f.count += n
+		return n
+	}
+	f.count += avail + 1
+	return avail
 }
 
 // Recharge advances to the next scheduled failure window.
@@ -396,9 +525,39 @@ func (r *Recorder) Consume(e float64) bool {
 	r.ops++
 	if r.ops%r.SampleEvery == 0 || !ok {
 		r.points = append(r.points, TracePoint{OpIndex: r.ops,
-			LevelNJ: math.Max(r.Inner.remaining, 0), DeadSec: r.dead})
+			LevelNJ: float64(max(r.Inner.remainingPJ, 0)) * 1e-3, DeadSec: r.dead})
 	}
 	return ok
+}
+
+// ConsumeN forwards a batch to the wrapped capacitor and reconstructs the
+// intermediate sample points analytically: the level after the j-th op of
+// the batch is start − j·cost, so the recorded trace is bit-identical to
+// n sequential Consume calls — including the unconditional sample at a
+// mid-batch failure — without walking every op.
+func (r *Recorder) ConsumeN(e float64, n int) int {
+	start := r.Inner.remainingPJ
+	dec := pjOf(e)
+	funded := r.Inner.ConsumeN(e, n)
+	consumed := funded
+	failed := funded < n
+	if failed {
+		consumed++ // the failing op is also counted and sampled
+	}
+	// Sample at every multiple of SampleEvery within the batch.
+	j0 := r.SampleEvery - r.ops%r.SampleEvery
+	for j := j0; j <= consumed; j += r.SampleEvery {
+		r.points = append(r.points, TracePoint{OpIndex: r.ops + j,
+			LevelNJ: float64(max(start-int64(j)*dec, 0)) * 1e-3, DeadSec: r.dead})
+	}
+	// The failing op samples unconditionally (once: the multiples loop
+	// above already covered it when it lands on a sample boundary).
+	if failed && (r.ops+consumed)%r.SampleEvery != 0 {
+		r.points = append(r.points, TracePoint{OpIndex: r.ops + consumed,
+			LevelNJ: float64(max(start-int64(consumed)*dec, 0)) * 1e-3, DeadSec: r.dead})
+	}
+	r.ops += consumed
+	return funded
 }
 
 // Recharge forwards and records the refill.
@@ -406,7 +565,7 @@ func (r *Recorder) Recharge() float64 {
 	d := r.Inner.Recharge()
 	r.dead += d
 	r.points = append(r.points, TracePoint{OpIndex: r.ops,
-		LevelNJ: r.Inner.remaining, DeadSec: r.dead})
+		LevelNJ: float64(r.Inner.remainingPJ) * 1e-3, DeadSec: r.dead})
 	return d
 }
 

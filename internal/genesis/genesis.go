@@ -251,7 +251,7 @@ func evaluateNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options) Result {
 		res.Feasible = false
 		return res
 	}
-	res.EInferJ = dev.Stats().EnergyNJ * 1e-9
+	res.EInferJ = dev.Stats().EnergyNJ() * 1e-9
 
 	app := opts.App
 	app.TP, app.TN, app.EInfer = res.TP, res.TN, res.EInferJ

@@ -18,6 +18,7 @@ import (
 	"repro/internal/sonic"
 	"repro/internal/svm"
 	"repro/internal/tails"
+	"repro/internal/trace"
 )
 
 // Fig1 regenerates Fig. 1: IMpJ versus inference accuracy in the wildlife
@@ -204,7 +205,11 @@ func RunAll(prepared []*Prepared) (*Eval, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			input := c.p.Model.QuantizeInput(c.p.Input)
-			ev.Results[i], _, errs[i] = MeasureTraced(c.p.Net, c.p.Model, c.rt, c.pw, input, nil)
+			// Analysis-only tracing: the sweep consumes just the
+			// commit/wasted-work aggregates, so skip the per-iteration
+			// event kinds (loop-index, privatize, op batches) entirely.
+			buf := trace.NewAnalysisBuffer(1024)
+			ev.Results[i], _, errs[i] = MeasureTraced(c.p.Net, c.p.Model, c.rt, c.pw, input, buf)
 		}(i, c)
 	}
 	wg.Wait()
@@ -315,7 +320,7 @@ func Fig12(ev *Eval) *Table {
 			if sec.Layer == "boot" {
 				continue
 			}
-			total += st.EnergyNJ
+			total += st.EnergyNJ()
 		}
 		agg := map[string]map[mcu.OpKind]float64{}
 		for sec, st := range r.Sections {
@@ -328,7 +333,7 @@ func Fig12(ev *Eval) *Table {
 				agg[sec.Layer] = m
 			}
 			for op := mcu.OpKind(0); op < mcu.NumOps; op++ {
-				m[op] += st.OpEnergy[op]
+				m[op] += st.OpEnergyNJ(op)
 			}
 		}
 		for _, layer := range []string{"conv1", "conv2", "conv3", "fc", "other"} {
@@ -655,7 +660,7 @@ func scoreModel(m *dnn.QuantModel, acc float64, x []float64) (impj, einferJ floa
 	if _, err := (tails.TAILS{}).Infer(img, m.QuantizeInput(x)); err != nil {
 		return 0, 0, err
 	}
-	eInfer := dev.Stats().EnergyNJ * 1e-9
+	eInfer := dev.Stats().EnergyNJ() * 1e-9
 	app := imodel.WildlifeDefaults()
 	app.EComm /= imodel.ResultOnlyCommFactor
 	app.TP, app.TN, app.EInfer = acc, acc, eInfer

@@ -152,10 +152,10 @@ func measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
 	res.Reboots = st.Reboots
 	res.SteadySec = res.LiveSec
 	if p.Name != "cont" {
-		res.SteadySec += st.EnergyNJ * 1e-9 / harvestWatts(dev.Power)
+		res.SteadySec += st.EnergyNJ() * 1e-9 / harvestWatts(dev.Power)
 	}
 	res.Sections = st.Sections
-	res.OpEnergy = st.OpEnergy
+	res.OpEnergy = st.OpEnergy()
 	res.OpCount = st.OpCount
 	if ierr != nil {
 		if errors.Is(ierr, mcu.ErrDoesNotComplete) {
@@ -196,7 +196,7 @@ func LayerSections(res RunResult) (map[string]map[mcu.Phase]float64, []string) {
 			m = make(map[mcu.Phase]float64)
 			agg[sec.Layer] = m
 		}
-		m[sec.Phase] += st.EnergyNJ
+		m[sec.Phase] += st.EnergyNJ()
 	}
 	order := []string{"conv1", "conv2", "conv3", "fc", "other", "boot"}
 	var present []string

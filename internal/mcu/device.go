@@ -40,22 +40,33 @@ type Section struct {
 	Phase Phase
 }
 
-// SectionStats accumulates costs within one section.
+// SectionStats accumulates costs within one section. Energy accumulates in
+// integer picojoules (EnergyPJ, OpEnergyPJ) so that charging n ops in one
+// bulk update is bit-identical to n scalar updates — integer addition is
+// associative where float64 accumulation is not. Use the EnergyNJ /
+// OpEnergyNJ accessors for the nanojoule views.
 type SectionStats struct {
-	Cycles   int64
-	EnergyNJ float64
-	OpCount  [NumOps]int64
-	OpEnergy [NumOps]float64
+	Cycles     int64
+	EnergyPJ   int64
+	OpCount    [NumOps]int64
+	OpEnergyPJ [NumOps]int64
 }
 
-// Stats is the device's full accounting.
+// EnergyNJ returns the section's consumed energy in nanojoules.
+func (s *SectionStats) EnergyNJ() float64 { return float64(s.EnergyPJ) * 1e-3 }
+
+// OpEnergyNJ returns the section's energy spent on one op kind in nJ.
+func (s *SectionStats) OpEnergyNJ(k OpKind) float64 { return float64(s.OpEnergyPJ[k]) * 1e-3 }
+
+// Stats is the device's full accounting. Energy accumulates in integer
+// picojoules for the same bulk/scalar bit-exactness reason as SectionStats.
 type Stats struct {
 	LiveCycles  int64
 	DeadSeconds float64
 	Reboots     int
-	EnergyNJ    float64
+	EnergyPJ    int64
 	OpCount     [NumOps]int64
-	OpEnergy    [NumOps]float64
+	OpEnergyPJ  [NumOps]int64
 	Sections    map[Section]*SectionStats
 
 	// MaxRegionOps is the largest op count observed between consecutive
@@ -76,8 +87,20 @@ func (s *Stats) TotalSeconds(clockHz float64) float64 {
 	return s.LiveSeconds(clockHz) + s.DeadSeconds
 }
 
+// EnergyNJ returns total consumed energy in nanojoules.
+func (s *Stats) EnergyNJ() float64 { return float64(s.EnergyPJ) * 1e-3 }
+
+// OpEnergy returns the per-kind energy breakdown in nanojoules.
+func (s *Stats) OpEnergy() [NumOps]float64 {
+	var out [NumOps]float64
+	for k, pj := range s.OpEnergyPJ {
+		out[k] = float64(pj) * 1e-3
+	}
+	return out
+}
+
 // EnergyMJ returns total consumed energy in millijoules.
-func (s *Stats) EnergyMJ() float64 { return s.EnergyNJ * 1e-6 }
+func (s *Stats) EnergyMJ() float64 { return float64(s.EnergyPJ) * 1e-9 }
 
 // Device is the simulated MCU.
 type Device struct {
@@ -94,16 +117,50 @@ type Device struct {
 	// system energy. StoreIndex honours the flag.
 	JITIndexCheckpoint bool
 
+	// ForceScalar disables the bulk-charge fast path: Ops and the Range
+	// helpers charge one op at a time through the scalar Consume loop.
+	// The differential oracle (internal/intermittest) flips this knob to
+	// prove the two paths produce bit-identical results.
+	ForceScalar bool
+
 	stats    Stats
 	section  Section
 	secStats *SectionStats
 
-	// Tracing state: tracer is the nil-checked event consumer, levelFn the
-	// cached energy-buffer sampler, batchOps the plain-operation count
-	// aggregated since the last emitted event (see trace.go).
-	tracer   Tracer
-	levelFn  func() float64
-	batchOps int
+	// prevSec/prevSecStats remember the previously attributed section.
+	// Runtimes flip between a layer's kernel and control/transition phases
+	// once or twice per loop iteration, so a two-entry cache turns almost
+	// every SetSection into a pointer swap instead of a map lookup.
+	prevSec      Section
+	prevSecStats *SectionStats
+
+	// costPJ caches the cost model's energies in integer picojoules, the
+	// unit Stats accumulates in (see SectionStats). Refreshed from Cost by
+	// NewWithMem; devices are constructed through New/NewWithMem and Cost
+	// is never mutated afterwards anywhere in the tree.
+	costPJ [NumOps]int64
+
+	// powerPJ caches Power's optional integer-picojoule consume entry point
+	// (energy.PJConsumer), probed once at construction like costPJ. When
+	// present, per-op charging skips the float→pJ conversion inside
+	// Consume; the integer subtraction performed is identical either way.
+	// intPower/contPower additionally devirtualize the two concrete power
+	// systems every simulated run uses, so the per-op charge compiles to an
+	// inlined integer subtract instead of an interface call.
+	powerPJ   energy.PJConsumer
+	intPower  *energy.Intermittent
+	contPower bool
+
+	// Tracing state: tracer is the nil-checked event consumer, traceMask
+	// the kinds it subscribed to (see TraceMasker), batchTrace whether
+	// op-batch events are wanted, levelFn the cached energy-buffer
+	// sampler, batchOps the plain-operation count aggregated since the
+	// last emitted event (see trace.go).
+	tracer     Tracer
+	traceMask  uint32
+	batchTrace bool
+	levelFn    func() float64
+	batchOps   int
 
 	// Memory-consistency state: shadow is the nil-checked WAR tracker
 	// (see consistency.go), protocol the regions exempted from it, and
@@ -126,17 +183,82 @@ func New(power energy.System) *Device {
 // NewWithMem returns a device over caller-provided memories.
 func NewWithMem(power energy.System, fram, sram *mem.Memory) *Device {
 	d := &Device{FRAM: fram, SRAM: sram, Power: power, Cost: DefaultCostModel()}
+	for k := range d.costPJ {
+		d.costPJ[k] = energy.PicojoulesOf(d.Cost.Costs[k].EnergyNJ)
+	}
+	if pj, ok := power.(energy.PJConsumer); ok {
+		d.powerPJ = pj
+	}
+	switch p := power.(type) {
+	case *energy.Intermittent:
+		d.intPower = p
+	case energy.Continuous:
+		d.contPower = true
+	}
 	d.stats.Sections = make(map[Section]*SectionStats)
 	d.SetSection("boot", PhaseControl)
 	return d
 }
 
-// Stats returns the accumulated statistics.
-func (d *Device) Stats() *Stats { return &d.stats }
+// Stats returns the accumulated statistics. Derived accumulators (cycles
+// and energy, which are fixed integer multiples of the op counts) are
+// materialized here rather than on every operation; the finalization is
+// idempotent, so Stats may be called at any point during a run.
+func (d *Device) Stats() *Stats {
+	d.finalizeStats()
+	return &d.stats
+}
 
-// ResetStats clears accounting without touching memory or power.
+// finalizeStats recomputes the derived Stats fields from the op counts:
+// LiveCycles and the energy accumulators are Σ count[k]·cost[k] with
+// integer per-kind costs, so deriving them on demand is bit-identical to
+// accumulating them per operation — the hot path only counts ops.
+func (d *Device) finalizeStats() {
+	var cyc, pj int64
+	for k, n := range d.stats.OpCount {
+		epj := n * d.costPJ[k]
+		d.stats.OpEnergyPJ[k] = epj
+		cyc += n * int64(d.Cost.Costs[k].Cycles)
+		pj += epj
+	}
+	d.stats.LiveCycles = cyc
+	d.stats.EnergyPJ = pj
+	for _, ss := range d.stats.Sections {
+		cyc, pj = 0, 0
+		for k, n := range ss.OpCount {
+			epj := n * d.costPJ[k]
+			ss.OpEnergyPJ[k] = epj
+			cyc += n * int64(d.Cost.Costs[k].Cycles)
+			pj += epj
+		}
+		ss.Cycles = cyc
+		ss.EnergyPJ = pj
+	}
+}
+
+// deriveNow returns the derived live-cycle count and total consumed energy
+// in picojoules without a full finalization — the tracer samples both per
+// event.
+func (d *Device) deriveNow() (cyc, pj int64) {
+	for k, n := range d.stats.OpCount {
+		cyc += n * int64(d.Cost.Costs[k].Cycles)
+		pj += n * d.costPJ[k]
+	}
+	return cyc, pj
+}
+
+// ResetStats clears accounting without touching memory or power. Any
+// operations batched for the tracer but not yet emitted are discarded
+// rather than carried over — they belong to the pre-reset stream, and
+// flushing them after the reset would mis-attribute them to post-reset
+// timestamps. The open commit region's op count is likewise zeroed so
+// MaxRegionOps measures only post-reset regions.
 func (d *Device) ResetStats() {
 	d.stats = Stats{Sections: make(map[Section]*SectionStats)}
+	d.batchOps = 0
+	d.opsInRegion = 0
+	d.secStats = nil // force SetSection to re-resolve into the fresh map
+	d.prevSec, d.prevSecStats = Section{}, nil
 	d.SetSection("boot", PhaseControl)
 }
 
@@ -156,13 +278,19 @@ func (d *Device) SetSection(layer string, phase Phase) {
 		}
 		d.emit(TraceLayerBegin, layer, 0)
 	}
+	prev, prevStats := d.section, d.secStats
 	d.section = sec
-	ss, ok := d.stats.Sections[sec]
-	if !ok {
-		ss = &SectionStats{}
-		d.stats.Sections[sec] = ss
+	if sec == d.prevSec && d.prevSecStats != nil {
+		d.secStats = d.prevSecStats
+	} else {
+		ss, ok := d.stats.Sections[sec]
+		if !ok {
+			ss = &SectionStats{}
+			d.stats.Sections[sec] = ss
+		}
+		d.secStats = ss
 	}
-	d.secStats = ss
+	d.prevSec, d.prevSecStats = prev, prevStats
 }
 
 // Section returns the current attribution label.
@@ -170,26 +298,22 @@ func (d *Device) Section() (string, Phase) { return d.section.Layer, d.section.P
 
 // Op charges one operation of kind k. If the energy buffer empties, the
 // operation does not take effect and the device browns out (panics with the
-// power-failure sentinel, recovered by Attempt).
+// power-failure sentinel, recovered by Attempt). The accounting is the n=1
+// body of account, open-coded so the hot path is a single call frame.
 func (d *Device) Op(k OpKind) {
-	c := &d.Cost.Costs[k]
-	if !d.Power.Consume(c.EnergyNJ) {
-		if d.tracer != nil {
-			d.flushOpBatch()
-			d.emit(TraceBrownOut, d.section.Layer, int64(k))
+	// The devirtualized intermittent charge is open-coded (an inlined
+	// integer subtract); everything else goes through consume1.
+	if p := d.intPower; p != nil && !d.ForceScalar {
+		if !p.ConsumePJ(d.costPJ[k]) {
+			d.brownOut(k)
 		}
-		panic(powerFailure{})
+	} else if !d.consume1(k) {
+		d.brownOut(k)
 	}
-	d.stats.LiveCycles += int64(c.Cycles)
-	d.stats.EnergyNJ += c.EnergyNJ
-	d.opsInRegion++
 	d.stats.OpCount[k]++
-	d.stats.OpEnergy[k] += c.EnergyNJ
-	d.secStats.Cycles += int64(c.Cycles)
-	d.secStats.EnergyNJ += c.EnergyNJ
 	d.secStats.OpCount[k]++
-	d.secStats.OpEnergy[k] += c.EnergyNJ
-	if d.tracer != nil {
+	d.opsInRegion++
+	if d.batchTrace {
 		d.batchOps++
 		if d.batchOps >= opBatchMax {
 			d.flushOpBatch()
@@ -197,11 +321,89 @@ func (d *Device) Op(k OpKind) {
 	}
 }
 
-// Ops charges n operations of kind k one at a time, so a power failure can
-// land at any element boundary.
-func (d *Device) Ops(k OpKind, n int) {
+// consume1 charges one op of kind k against the power system, preferring
+// the integer-picojoule entry point when the system provides one — through
+// the devirtualized concrete types where possible, so the common charge is
+// an inlined integer subtract. With ForceScalar set it pins the original
+// float Consume call, so the differential oracle exercises the unoptimized
+// path end to end.
+func (d *Device) consume1(k OpKind) bool {
+	if d.ForceScalar {
+		return d.Power.Consume(d.Cost.Costs[k].EnergyNJ)
+	}
+	if d.intPower != nil {
+		return d.intPower.ConsumePJ(d.costPJ[k])
+	}
+	if d.contPower {
+		return true
+	}
+	if d.powerPJ != nil {
+		return d.powerPJ.ConsumePJ(d.costPJ[k])
+	}
+	return d.Power.Consume(d.Cost.Costs[k].EnergyNJ)
+}
+
+// account records n funded operations of kind k. Only the op counts (and
+// the open commit region's size) are maintained per operation; cycles and
+// energy are fixed integer multiples of the counts and are derived in
+// finalizeStats, so one n-fold update is bit-identical to n single updates
+// — the invariant the bulk-charge fast path and the differential oracle
+// rely on.
+func (d *Device) account(k OpKind, n int) {
+	nn := int64(n)
+	d.stats.OpCount[k] += nn
+	d.secStats.OpCount[k] += nn
+	d.opsInRegion += nn
+	if d.batchTrace {
+		d.batchOps += n
+		if d.batchOps >= opBatchMax {
+			d.flushOpBatch()
+		}
+	}
+}
+
+// brownOut raises the power-failure sentinel for an unfunded op of kind k.
+func (d *Device) brownOut(k OpKind) {
+	if d.tracer != nil {
+		d.flushOpBatch()
+		d.emit(TraceBrownOut, d.section.Layer, int64(k))
+	}
+	panic(powerFailure{})
+}
+
+// chargeOps charges up to n operations of kind k and returns how many were
+// funded, accounting exactly the funded prefix. When the power system
+// implements energy.BulkConsumer (every system in this tree does) and
+// ForceScalar is off, the whole batch costs O(1); otherwise it falls back
+// to the scalar loop. Callers apply the funded prefix's effects and brown
+// out when the return value is short.
+func (d *Device) chargeOps(k OpKind, n int) int {
+	e := d.Cost.Costs[k].EnergyNJ
+	if b, ok := d.Power.(energy.BulkConsumer); ok && !d.ForceScalar {
+		funded := b.ConsumeN(e, n)
+		if funded > 0 {
+			d.account(k, funded)
+		}
+		return funded
+	}
 	for i := 0; i < n; i++ {
-		d.Op(k)
+		if !d.consume1(k) {
+			return i
+		}
+		d.account(k, 1)
+	}
+	return n
+}
+
+// Ops charges n operations of kind k through the bulk fast path: O(1)
+// accounting for the whole run, with a power failure still landing at the
+// exact op index the scalar loop would brown out on.
+func (d *Device) Ops(k OpKind, n int) {
+	if n <= 0 {
+		return
+	}
+	if funded := d.chargeOps(k, n); funded < n {
+		d.brownOut(k)
 	}
 }
 
@@ -238,6 +440,69 @@ func (d *Device) Store(r *mem.Region, i int, v int64) {
 		d.shadowWrite(r, i)
 	}
 	r.Put(i, v)
+}
+
+// LoadRange charges n consecutive loads from region words r[i:i+n] as one
+// bulk batch — the macro-op form of n Load calls. It performs no data
+// movement (callers read values with r.Get, which is free of charge, as in
+// Load); it charges the loads, records the funded prefix's shadow reads,
+// and browns out at the exact op index the scalar loop would.
+func (d *Device) LoadRange(r *mem.Region, i, n int) {
+	if n <= 0 {
+		return
+	}
+	k := loadOp(r)
+	funded := d.chargeOps(k, n)
+	if d.shadow != nil {
+		for j := 0; j < funded; j++ {
+			d.shadowRead(r, i+j)
+		}
+	}
+	if funded < n {
+		d.brownOut(k)
+	}
+}
+
+// StoreRange writes vs to consecutive region words r[i:i+len(vs)] as one
+// bulk batch — the macro-op form of len(vs) Store calls. Exactly the
+// funded prefix of the writes takes effect (with its shadow records), so a
+// mid-batch power failure leaves the same partial destination the scalar
+// loop would.
+func (d *Device) StoreRange(r *mem.Region, i int, vs []int64) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	k := storeOp(r)
+	funded := d.chargeOps(k, n)
+	for j := 0; j < funded; j++ {
+		if d.shadow != nil {
+			d.shadowWrite(r, i+j)
+		}
+		r.Put(i+j, vs[j])
+	}
+	if funded < n {
+		d.brownOut(k)
+	}
+}
+
+// MACRange charges the canonical software multiply-accumulate inner loop
+// for n consecutive elements — per element one loop branch, one weight
+// load from w[wOff+j], one activation load from x[xOff+j], one fixed-point
+// multiply and one fixed-point accumulate — in segment-grouped order (all
+// branches, then all weight loads, ...). Within one uncommitted region the
+// grouping is architecturally legal: the memory reads keep their relative
+// order and a failure anywhere in the range aborts the whole region.
+// Callers compute the arithmetic themselves from r.Get values.
+func (d *Device) MACRange(w *mem.Region, wOff int, x *mem.Region, xOff, n int) {
+	if n <= 0 {
+		return
+	}
+	d.Ops(OpBranch, n)
+	d.LoadRange(w, wOff, n)
+	d.LoadRange(x, xOff, n)
+	d.Ops(OpFixedMul, n)
+	d.Ops(OpFixedAdd, n)
 }
 
 // StoreIndex writes a loop-index/progress word. With JITIndexCheckpoint

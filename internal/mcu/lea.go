@@ -26,13 +26,22 @@ import (
 func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int) {
 	d.Emit(TraceDMA, dst.Name, int64(n))
 	d.Op(OpDMASetup)
-	for i := 0; i < n; i++ {
-		d.Op(OpDMAWord)
+	if n <= 0 {
+		return
+	}
+	// Bulk path: one charge for the whole block, with exactly the funded
+	// prefix of words transferred — the same partial destination a
+	// word-by-word failure leaves.
+	funded := d.chargeOps(OpDMAWord, n)
+	for i := 0; i < funded; i++ {
 		if d.shadow != nil {
 			d.shadowRead(src, srcOff+i)
 			d.shadowWrite(dst, dstOff+i)
 		}
 		dst.Put(dstOff+i, src.Get(srcOff+i))
+	}
+	if funded < n {
+		d.brownOut(OpDMAWord)
 	}
 }
 
@@ -61,9 +70,12 @@ func (d *Device) LEAMacV(x *mem.Region, xOff int, y *mem.Region, yOff, n int) fi
 	checkLEAFootprint(2 * n)
 	d.Emit(TraceLEA, "macv", int64(n))
 	d.Op(OpLEAInvoke)
+	// One bulk charge for the whole vector. All operands are SRAM, which a
+	// brown-out wipes anyway, so charging before computing is
+	// indistinguishable from the interleaved scalar order.
+	d.Ops(OpLEAElem, n)
 	var acc fixed.Acc
 	for i := 0; i < n; i++ {
-		d.Op(OpLEAElem)
 		acc = acc.MAC(fixed.Q15(x.Get(xOff+i)), fixed.Q15(y.Get(yOff+i)))
 	}
 	return acc
@@ -85,10 +97,12 @@ func (d *Device) LEAFIR(out *mem.Region, outOff int, in *mem.Region, inOff int,
 	checkLEAFootprint(outN + coefN + outN + coefN - 1)
 	d.Emit(TraceLEA, "fir", int64(outN))
 	d.Op(OpLEAInvoke)
+	// Bulk charge for the whole invocation; operands and outputs are SRAM,
+	// lost at brown-out, so the charge/compute order is unobservable.
+	d.Ops(OpLEAElem, outN*coefN)
 	for i := 0; i < outN; i++ {
 		var acc fixed.Acc
 		for k := 0; k < coefN; k++ {
-			d.Op(OpLEAElem)
 			acc = acc.MAC(fixed.Q15(coef.Get(coefOff+k)), fixed.Q15(in.Get(inOff+i+k)))
 		}
 		out.Put(outOff+i, int64(acc.Sat()))
@@ -106,8 +120,8 @@ func (d *Device) LEAAddV(dst *mem.Region, dstOff int, a *mem.Region, aOff int,
 	checkLEAFootprint(3 * n)
 	d.Emit(TraceLEA, "addv", int64(n))
 	d.Op(OpLEAInvoke)
+	d.Ops(OpLEAElem, n) // bulk charge; SRAM-only effects (see LEAMacV)
 	for i := 0; i < n; i++ {
-		d.Op(OpLEAElem)
 		s := fixed.Add(fixed.Q15(a.Get(aOff+i)), fixed.Q15(b.Get(bOff+i)))
 		dst.Put(dstOff+i, int64(s))
 	}

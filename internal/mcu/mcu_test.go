@@ -24,8 +24,8 @@ func TestOpAccounting(t *testing.T) {
 		t.Errorf("cycles = %d, want %d", st.LiveCycles, wantCycles)
 	}
 	wantE := d.Cost.Costs[OpAdd].EnergyNJ + 3*d.Cost.Costs[OpMul].EnergyNJ
-	if math.Abs(st.EnergyNJ-wantE) > 1e-9 {
-		t.Errorf("energy = %v, want %v", st.EnergyNJ, wantE)
+	if math.Abs(st.EnergyNJ()-wantE) > 1e-9 {
+		t.Errorf("energy = %v, want %v", st.EnergyNJ(), wantE)
 	}
 	sec := st.Sections[Section{Layer: "L", Phase: PhaseKernel}]
 	if sec == nil || sec.OpCount[OpMul] != 3 {
@@ -340,7 +340,7 @@ func TestResetStats(t *testing.T) {
 	d := New(energy.Continuous{})
 	d.Op(OpAdd)
 	d.ResetStats()
-	if d.Stats().OpCount[OpAdd] != 0 || d.Stats().EnergyNJ != 0 {
+	if d.Stats().OpCount[OpAdd] != 0 || d.Stats().EnergyNJ() != 0 {
 		t.Error("stats not cleared")
 	}
 	d.Op(OpAdd) // must not panic after reset

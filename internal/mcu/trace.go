@@ -118,6 +118,29 @@ type Tracer interface {
 	TraceEvent(e TraceEvent)
 }
 
+// TraceMasker is an optional Tracer refinement: a consumer that wants only
+// a subset of event kinds. SetTracer probes for it once and the device
+// then skips masked-out events before constructing them — on hot paths
+// (per-iteration loop-index stores, per-write privatize events) the
+// construction itself dominates tracing cost, so a consumer that only
+// needs the charge-cycle aggregation kinds avoids almost all of it.
+type TraceMasker interface {
+	Tracer
+	TraceMask() uint32
+}
+
+// TraceMaskAll is the event mask enabling every kind.
+const TraceMaskAll = uint32(1)<<NumTraceKinds - 1
+
+// MaskOf builds an event mask from kinds.
+func MaskOf(kinds ...TraceKind) uint32 {
+	var m uint32
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
 // opBatchMax bounds how many plain operations aggregate into one op-batch
 // event before a flush, so long kernels still produce periodic timeline
 // and energy-level samples.
@@ -129,9 +152,16 @@ const opBatchMax = 1024
 func (d *Device) SetTracer(t Tracer) {
 	d.tracer = t
 	d.levelFn = nil
+	d.traceMask = 0
+	d.batchTrace = false
 	if t == nil {
 		return
 	}
+	d.traceMask = TraceMaskAll
+	if m, ok := t.(TraceMasker); ok {
+		d.traceMask = m.TraceMask()
+	}
+	d.batchTrace = d.traceMask>>uint(TraceOpBatch)&1 == 1
 	if lv, ok := d.Power.(interface{ LevelNJ() float64 }); ok {
 		d.levelFn = lv.LevelNJ
 	}
@@ -145,7 +175,7 @@ func (d *Device) Tracer() Tracer { return d.tracer }
 // paths should avoid constructing labels eagerly; passing stored strings
 // keeps the disabled path allocation-free.
 func (d *Device) Emit(k TraceKind, label string, arg int64) {
-	if d.tracer == nil {
+	if d.tracer == nil || d.traceMask>>uint(k)&1 == 0 {
 		return
 	}
 	d.flushOpBatch()
@@ -154,14 +184,18 @@ func (d *Device) Emit(k TraceKind, label string, arg int64) {
 
 // emit sends one event without flushing (internal).
 func (d *Device) emit(k TraceKind, label string, arg int64) {
+	if d.traceMask>>uint(k)&1 == 0 {
+		return
+	}
 	level := -1.0
 	if d.levelFn != nil {
 		level = d.levelFn()
 	}
+	cyc, pj := d.deriveNow()
 	d.tracer.TraceEvent(TraceEvent{
 		Kind:     k,
-		Cycles:   d.stats.LiveCycles,
-		EnergyNJ: d.stats.EnergyNJ,
+		Cycles:   cyc,
+		EnergyNJ: float64(pj) * 1e-3,
 		DeadSec:  d.stats.DeadSeconds,
 		LevelNJ:  level,
 		Label:    label,

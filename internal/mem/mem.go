@@ -67,6 +67,7 @@ type Region struct {
 	Name      string
 	ElemBytes int
 	mem       *Memory
+	kind      Kind // copy of mem.kind, so Kind() avoids the pointer chase
 	words     []int64
 }
 
@@ -82,7 +83,7 @@ func (m *Memory) Alloc(name string, n, elemBytes int) (*Region, error) {
 			m.kind, name, bytes, m.Free())
 	}
 	m.used += bytes
-	r := &Region{Name: name, ElemBytes: elemBytes, mem: m, words: make([]int64, n)}
+	r := &Region{Name: name, ElemBytes: elemBytes, mem: m, kind: m.kind, words: make([]int64, n)}
 	m.regions = append(m.regions, r)
 	return r, nil
 }
@@ -130,7 +131,7 @@ func (m *Memory) ClearVolatile() {
 }
 
 // Kind returns the memory technology holding this region.
-func (r *Region) Kind() Kind { return r.mem.kind }
+func (r *Region) Kind() Kind { return r.kind }
 
 // Len returns the region's word count.
 func (r *Region) Len() int { return len(r.words) }

@@ -1,0 +1,71 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the repository's CLIs, so the simulator's hot paths can be inspected
+// with `go tool pprof` against a real workload (a paper regeneration or a
+// fuzz campaign) rather than only against microbenchmarks.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the optional CPU and heap profile outputs of one command.
+type Profiler struct {
+	cpu *string
+	mem *string
+	f   *os.File
+}
+
+// RegisterFlags installs -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func RegisterFlags() *Profiler {
+	return &Profiler{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag.Parse.
+func (p *Profiler) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.f = f
+	return nil
+}
+
+// Stop flushes both profiles. It is idempotent, and must be called on
+// every exit path explicitly: os.Exit does not run deferred calls, and a
+// truncated CPU profile is unreadable.
+func (p *Profiler) Stop() {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		p.f.Close()
+		p.f = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+		*p.mem = ""
+	}
+}

@@ -32,7 +32,7 @@ func TestCompletionMatrix(t *testing.T) {
 		}
 		_, err = rt.Infer(img, qin)
 		st := dev.Stats()
-		steady := st.LiveSeconds(dev.Cost.ClockHz) + st.EnergyNJ*1e-9/energy.DefaultRFWatts
+		steady := st.LiveSeconds(dev.Cost.ClockHz) + st.EnergyNJ()*1e-9/energy.DefaultRFWatts
 		return err, steady
 	}
 

@@ -510,6 +510,7 @@ func (s *Exec) sparseLayerBuffered(l *core.LayerImage, name string, src, dst *me
 
 	if start.Pass == 0 {
 		row := start.I
+		gen := make([]int64, q.Out)
 		for pos := start.Pos; pos < nnz; pos++ {
 			dev.SetSection(name, mcu.PhaseControl)
 			dest, inter := AccBufs(s.Img, pos)
@@ -525,19 +526,24 @@ func (s *Exec) sparseLayerBuffered(l *core.LayerImage, name string, src, dst *me
 			prod := fixed.Acc(0).MAC(wv, x)
 			dev.SetSection(name, mcu.PhaseKernel)
 			// One generation: copy all partials forward, adding the
-			// product into the modified row.
+			// product into the modified row. No checkpoint inside the
+			// copy, so the whole generation charges as bulk macro-ops.
+			dev.Ops(mcu.OpBranch, q.Out)
+			if pos > 0 {
+				dev.LoadRange(inter, 0, q.Out)
+			}
+			dev.Op(mcu.OpFixedAdd) // the one modified row
 			for o := 0; o < q.Out; o++ {
-				dev.Op(mcu.OpBranch)
 				var a fixed.Acc
 				if pos > 0 {
-					a = fixed.Acc(dev.Load(inter, o))
+					a = fixed.Acc(inter.Get(o))
 				}
 				if o == row {
-					dev.Op(mcu.OpFixedAdd)
 					a += prod
 				}
-				dev.Store(dest, o, int64(a))
+				gen[o] = int64(a)
 			}
+			dev.StoreRange(dest, 0, gen)
 			dev.SetSection(name, mcu.PhaseControl)
 			s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos + 1, I: row})
 		}

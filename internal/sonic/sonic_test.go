@@ -197,7 +197,7 @@ func TestSONICFasterThanTilingSlowerThanBase(t *testing.T) {
 		if _, err := rt.Infer(img, qin); err != nil {
 			t.Fatal(err)
 		}
-		return dev.Stats().EnergyNJ
+		return dev.Stats().EnergyNJ()
 	}
 	base := run(baseline.Base{})
 	tile8 := run(baseline.Tile{TileSize: 8})
@@ -278,7 +278,7 @@ func TestSparseUndoLoggingAblation(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertEqualQ(t, got, want, rt.Name())
-		return dev.Stats().EnergyNJ
+		return dev.Stats().EnergyNJ()
 	}
 	withSUL := run(SONIC{})
 	without := run(SONIC{SparseViaBuffering: true})
@@ -333,7 +333,7 @@ func TestJITIndexCheckpointArchitecture(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertEqualQ(t, got, want, "jit")
-		return dev.Stats().EnergyNJ
+		return dev.Stats().EnergyNJ()
 	}
 
 	stock := run(false, 0)

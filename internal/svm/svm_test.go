@@ -95,7 +95,7 @@ func TestSVMVersusDNNByIMpJ(t *testing.T) {
 		if _, err := (sonic.SONIC{}).Infer(img, qm.QuantizeInput(ds.Test[0].X)); err != nil {
 			t.Fatal(err)
 		}
-		eInfer := dev.Stats().EnergyNJ * 1e-9
+		eInfer := dev.Stats().EnergyNJ() * 1e-9
 		conf := dnn.Confusion(n, ds.Test, ds.NumClasses)
 		tp, tn := dnn.BinaryRates(conf, 0)
 		p := imodel.WildlifeDefaults()

@@ -228,9 +228,18 @@ func tile(s *sonic.Exec) int {
 // blockIn moves n words into SRAM: DMA, or CPU copy under SoftwareDMA.
 func (t TAILS) blockIn(dev *mcu.Device, dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int) {
 	if t.SoftwareDMA {
-		for i := 0; i < n; i++ {
-			dev.Store(dst, dstOff+i, dev.Load(src, srcOff+i))
+		if n <= 0 {
+			return
 		}
+		// Bulk CPU copy: loads then stores, same op multiset as the
+		// interleaved scalar loop. The funded store prefix still leaves
+		// the partial destination loop-ordered buffering tolerates.
+		dev.LoadRange(src, srcOff, n)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = src.Get(srcOff + i)
+		}
+		dev.StoreRange(dst, dstOff, vals)
 		return
 	}
 	dev.DMA(dst, dstOff, src, srcOff, n)
@@ -248,16 +257,19 @@ func (t TAILS) fir(dev *mcu.Device, out *mem.Region, outOff int, in *mem.Region,
 		dev.LEAFIR(out, outOff, in, inOff, coef, coefOff, coefN, outN)
 		return
 	}
+	// Bulk charge for the whole software FIR; all operands live in SRAM,
+	// lost at brown-out, so the grouped charge order is unobservable.
+	total := outN * coefN
+	dev.Ops(mcu.OpBranch, total)
+	dev.Ops(mcu.OpFixedMul, total)
+	dev.Ops(mcu.OpFixedAdd, total)
+	dev.Ops(mcu.OpLoadSRAM, 2*total)
+	dev.Ops(mcu.OpStoreSRAM, outN)
 	for i := 0; i < outN; i++ {
 		var acc fixed.Acc
 		for k := 0; k < coefN; k++ {
-			dev.Op(mcu.OpBranch)
-			dev.Op(mcu.OpFixedMul)
-			dev.Op(mcu.OpFixedAdd)
 			acc = acc.MAC(fixed.Q15(coef.Get(coefOff+k)), fixed.Q15(in.Get(inOff+i+k)))
-			dev.Ops(mcu.OpLoadSRAM, 2)
 		}
-		dev.Op(mcu.OpStoreSRAM)
 		out.Put(outOff+i, int64(acc.Sat()))
 	}
 }
@@ -267,12 +279,12 @@ func (t TAILS) macv(dev *mcu.Device, x *mem.Region, xOff int, y *mem.Region, yOf
 	if !t.SoftwareLEA {
 		return dev.LEAMacV(x, xOff, y, yOff, n)
 	}
+	dev.Ops(mcu.OpBranch, n)
+	dev.Ops(mcu.OpFixedMul, n)
+	dev.Ops(mcu.OpFixedAdd, n)
+	dev.Ops(mcu.OpLoadSRAM, 2*n)
 	var acc fixed.Acc
 	for i := 0; i < n; i++ {
-		dev.Op(mcu.OpBranch)
-		dev.Op(mcu.OpFixedMul)
-		dev.Op(mcu.OpFixedAdd)
-		dev.Ops(mcu.OpLoadSRAM, 2)
 		acc = acc.MAC(fixed.Q15(x.Get(xOff+i)), fixed.Q15(y.Get(yOff+i)))
 	}
 	return acc
@@ -285,10 +297,10 @@ func (t TAILS) addv(dev *mcu.Device, dst *mem.Region, dstOff int, a *mem.Region,
 		dev.LEAAddV(dst, dstOff, a, aOff, b, bOff, n)
 		return
 	}
+	dev.Ops(mcu.OpFixedAdd, n)
+	dev.Ops(mcu.OpLoadSRAM, 2*n)
+	dev.Ops(mcu.OpStoreSRAM, n)
 	for i := 0; i < n; i++ {
-		dev.Op(mcu.OpFixedAdd)
-		dev.Ops(mcu.OpLoadSRAM, 2)
-		dev.Op(mcu.OpStoreSRAM)
 		s := fixed.Add(fixed.Q15(a.Get(aOff+i)), fixed.Q15(b.Get(bOff+i)))
 		dst.Put(dstOff+i, int64(s))
 	}
@@ -301,10 +313,10 @@ func preShiftRow(dev *mcu.Device, r *mem.Region, off, n, sh int) {
 	if sh <= 0 {
 		return
 	}
+	dev.Ops(mcu.OpLoadSRAM, n)
+	dev.Ops(mcu.OpAdd, n) // shift sequence
+	dev.Ops(mcu.OpStoreSRAM, n)
 	for i := 0; i < n; i++ {
-		dev.Op(mcu.OpLoadSRAM)
-		dev.Op(mcu.OpAdd) // shift sequence
-		dev.Op(mcu.OpStoreSRAM)
 		r.Put(off+i, r.Get(off+i)>>uint(sh))
 	}
 }

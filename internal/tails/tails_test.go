@@ -214,7 +214,7 @@ func TestTAILSFasterThanSONIC(t *testing.T) {
 		if _, err := rt.Infer(img, qin); err != nil {
 			t.Fatal(err)
 		}
-		return dev.Stats().EnergyNJ
+		return dev.Stats().EnergyNJ()
 	}
 	base := run(baseline.Base{})
 	son := run(sonic.SONIC{})

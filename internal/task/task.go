@@ -60,10 +60,46 @@ type Runtime struct {
 	shared []*mem.Region
 	ids    map[*mem.Region]int
 
-	// writeSet maps packed addresses to log slots. It models Alpaca's
+	// The write set maps (region, word) to log slots. It models Alpaca's
 	// privatization lookup and is volatile: cleared at task start and
-	// implicitly discarded by restarts.
-	writeSet map[int64]int
+	// implicitly discarded by restarts. The host-side representation is a
+	// dense epoch-stamped table per shared region — a wsSlot entry is live
+	// only when its wsMark equals the current epoch, so the per-task clear
+	// is one counter bump instead of a map wipe.
+	wsSlot  [][]int32
+	wsMark  [][]uint32
+	wsEpoch uint32
+
+	// Two-entry cache for the region→id resolution: task kernels privatize
+	// through the same one or two regions (e.g. a finalize pass reading the
+	// partial and writing the output) for thousands of consecutive
+	// accesses, so this skips the map lookup on nearly every access.
+	lastReg, prevReg *mem.Region
+	lastID, prevID   int
+
+	// logScratch is the reusable staging buffer for WriteRange's
+	// interleaved (address, value) log entries.
+	logScratch []int64
+}
+
+// regionID resolves a task-shared region to its dense id, panicking on
+// unregistered regions.
+func (rt *Runtime) regionID(r *mem.Region) int {
+	if r == rt.lastReg {
+		return rt.lastID
+	}
+	if r == rt.prevReg {
+		rt.lastReg, rt.prevReg = r, rt.lastReg
+		rt.lastID, rt.prevID = rt.prevID, rt.lastID
+		return rt.lastID
+	}
+	id, ok := rt.ids[r]
+	if !ok {
+		panic(fmt.Sprintf("task: region %q not registered as task-shared", r.Name))
+	}
+	rt.prevReg, rt.prevID = rt.lastReg, rt.lastID
+	rt.lastReg, rt.lastID = r, id
+	return id
 }
 
 type taskEntry struct {
@@ -121,6 +157,21 @@ func (rt *Runtime) Share(r *mem.Region) {
 	}
 	rt.ids[r] = len(rt.shared)
 	rt.shared = append(rt.shared, r)
+	rt.wsSlot = append(rt.wsSlot, make([]int32, r.Len()))
+	rt.wsMark = append(rt.wsMark, make([]uint32, r.Len()))
+}
+
+// clearWriteSet invalidates every write-set entry by advancing the epoch.
+// On the (rare) wrap to zero the mark tables are zeroed so stale stamps
+// from 2³² tasks ago cannot read as live.
+func (rt *Runtime) clearWriteSet() {
+	rt.wsEpoch++
+	if rt.wsEpoch == 0 {
+		for _, marks := range rt.wsMark {
+			clear(marks)
+		}
+		rt.wsEpoch = 1
+	}
 }
 
 // Start initializes the control state to begin execution at entry. This is
@@ -154,7 +205,7 @@ func (rt *Runtime) Run() error {
 			// execution and reset the volatile privatization table.
 			rt.dev.Emit(mcu.TraceTaskBegin, rt.tasks[cur].name, int64(cur))
 			rt.dev.Store(rt.state, stCount, 0)
-			rt.writeSet = make(map[int64]int)
+			rt.clearWriteSet()
 			next := rt.tasks[cur].f(&Ctx{rt: rt})
 			rt.commit(next)
 		}
@@ -182,9 +233,12 @@ func (rt *Runtime) replayAndFinish() {
 	dev.SetSection(layer, mcu.PhaseTransition)
 	n := int(dev.Load(rt.state, stCount))
 	dev.Emit(mcu.TraceTaskCommitReplay, layer, int64(n))
+	// The log is contiguous, so its reads charge as one bulk batch; the
+	// home-location writes scatter and stay scalar.
+	dev.LoadRange(rt.log, 0, 2*n)
 	for j := 0; j < n; j++ {
-		addr := dev.Load(rt.log, 2*j)
-		val := dev.Load(rt.log, 2*j+1)
+		addr := rt.log.Get(2 * j)
+		val := rt.log.Get(2*j + 1)
 		region, idx := rt.decode(addr)
 		// The home write is redo-logged: once stPhase is durably
 		// phaseCommit the task body never re-reads the old value, and a
@@ -223,13 +277,10 @@ func (c *Ctx) Dev() *mcu.Device { return c.rt.dev }
 // (read-own-write through the redo log).
 func (c *Ctx) Read(r *mem.Region, i int) int64 {
 	rt := c.rt
-	id, ok := rt.ids[r]
-	if !ok {
-		panic(fmt.Sprintf("task: region %q not registered as task-shared", r.Name))
-	}
+	id := rt.regionID(r)
 	rt.dev.Op(mcu.OpPrivatize) // dynamic-buffering lookup
-	if slot, ok := rt.writeSet[rt.pack(id, i)]; ok {
-		return rt.dev.Load(rt.log, 2*slot+1)
+	if rt.wsMark[id][i] == rt.wsEpoch {
+		return rt.dev.Load(rt.log, 2*int(rt.wsSlot[id][i])+1)
 	}
 	return rt.dev.Load(r, i)
 }
@@ -238,14 +289,10 @@ func (c *Ctx) Read(r *mem.Region, i int) int64 {
 // only updated at commit.
 func (c *Ctx) Write(r *mem.Region, i int, v int64) {
 	rt := c.rt
-	id, ok := rt.ids[r]
-	if !ok {
-		panic(fmt.Sprintf("task: region %q not registered as task-shared", r.Name))
-	}
+	id := rt.regionID(r)
 	rt.dev.Op(mcu.OpPrivatize) // dynamic-buffering insertion
-	key := rt.pack(id, i)
-	if slot, ok := rt.writeSet[key]; ok {
-		rt.dev.Store(rt.log, 2*slot+1, v)
+	if rt.wsMark[id][i] == rt.wsEpoch {
+		rt.dev.Store(rt.log, 2*int(rt.wsSlot[id][i])+1, v)
 		return
 	}
 	n := int(rt.dev.Load(rt.state, stCount))
@@ -253,10 +300,107 @@ func (c *Ctx) Write(r *mem.Region, i int, v int64) {
 		panic(fmt.Sprintf("task: redo log overflow (%d entries): task writes too much task-shared data", rt.cap))
 	}
 	rt.dev.Emit(mcu.TracePrivatize, r.Name, int64(n))
-	rt.dev.Store(rt.log, 2*n, key)
+	rt.dev.Store(rt.log, 2*n, rt.pack(id, i))
 	rt.dev.Store(rt.log, 2*n+1, v)
 	rt.dev.Store(rt.state, stCount, int64(n+1))
-	rt.writeSet[key] = n
+	rt.wsSlot[id][i] = int32(n)
+	rt.wsMark[id][i] = rt.wsEpoch
+}
+
+// Fresh reports whether none of the words r[i:i+n] is privatized in the
+// task's write set. It is a host-side predicate (no simulated cost) that
+// kernels use to choose between the bulk Range forms below and the scalar
+// Read/Write calls; the Range forms re-verify it before charging.
+func (c *Ctx) Fresh(r *mem.Region, i, n int) bool {
+	rt := c.rt
+	return rt.allFresh(rt.regionID(r), i, n)
+}
+
+// allFresh reports whether no word of [i, i+n) in shared region id has a
+// live write-set entry.
+func (rt *Runtime) allFresh(id, i, n int) bool {
+	epoch := rt.wsEpoch
+	for _, m := range rt.wsMark[id][i : i+n] {
+		if m == epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadRange is the bulk form of n consecutive Read calls of words
+// r[i:i+n], legal only when none of them is privatized (every read goes to
+// the home location). It charges the scalar calls' exact op multiset — n
+// privatization lookups, then n home loads — segment-grouped within the
+// current task, which never commits mid-range, and returns false without
+// charging anything when some word is privatized so the caller can fall
+// back to scalar Reads. Values are then read with r.Get, as with
+// Device.LoadRange.
+func (c *Ctx) ReadRange(r *mem.Region, i, n int) bool {
+	rt := c.rt
+	if n <= 0 {
+		return true
+	}
+	if !rt.allFresh(rt.regionID(r), i, n) {
+		return false
+	}
+	rt.dev.Ops(mcu.OpPrivatize, n)
+	rt.dev.LoadRange(r, i, n)
+	return true
+}
+
+// WriteRange is the bulk form of len(vals) consecutive Write calls to
+// words r[i:i+len(vals)] none of which the task has written before: every
+// word then appends a fresh redo-log entry, so the protocol traffic is
+// uniform and bulk-chargeable — per word one privatization lookup, one
+// log-count load, two contiguous log stores, and one log-count store,
+// segment-grouped within the current task. Returns false without side
+// effects when some word is already privatized (the scalar path's
+// in-place log update applies then). A power failure mid-range leaves
+// partial log contents that differ word-for-word from the scalar
+// interleaving, but an execution-phase failure restarts the task, which
+// resets the log count and write set before any of it can be read.
+func (c *Ctx) WriteRange(r *mem.Region, i int, vals []int64) bool {
+	rt := c.rt
+	n := len(vals)
+	if n == 0 {
+		return true
+	}
+	id := rt.regionID(r)
+	if !rt.allFresh(id, i, n) {
+		return false
+	}
+	dev := rt.dev
+	n0 := int(rt.state.Get(stCount))
+	if n0+n > rt.cap {
+		panic(fmt.Sprintf("task: redo log overflow (%d entries): task writes too much task-shared data", rt.cap))
+	}
+	dev.Ops(mcu.OpPrivatize, n)
+	// The log-count loads and stores hit the same state word n times; the
+	// state region is protocol-exempt from WAR tracking, so charging them
+	// as bulk FRAM ops is observationally identical to n scalar accesses.
+	dev.Ops(mcu.OpLoadFRAM, n)
+	for j := 0; j < n; j++ {
+		dev.Emit(mcu.TracePrivatize, r.Name, int64(n0+j))
+	}
+	if cap(rt.logScratch) < 2*n {
+		rt.logScratch = make([]int64, 2*n)
+	}
+	entries := rt.logScratch[:2*n]
+	for j := 0; j < n; j++ {
+		entries[2*j] = rt.pack(id, i+j)
+		entries[2*j+1] = vals[j]
+	}
+	dev.StoreRange(rt.log, 2*n0, entries)
+	dev.Ops(mcu.OpStoreFRAM, n)
+	rt.state.Put(stCount, int64(n0+n))
+	epoch := rt.wsEpoch
+	slots, marks := rt.wsSlot[id], rt.wsMark[id]
+	for j := 0; j < n; j++ {
+		slots[i+j] = int32(n0 + j)
+		marks[i+j] = epoch
+	}
+	return true
 }
 
 // TaskName returns the registered name of a task (for diagnostics).

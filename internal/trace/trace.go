@@ -31,6 +31,7 @@ type Buffer struct {
 	next   int
 	count  int
 	drops  uint64
+	mask   uint32 // event kinds this buffer subscribes to (mcu.TraceMasker)
 
 	// Online per-charge-cycle aggregation (exact even after ring wrap).
 	closed   []ChargeCycle
@@ -47,8 +48,29 @@ func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Buffer{events: make([]Event, 0, capacity)}
+	return &Buffer{events: make([]Event, 0, capacity), mask: mcu.TraceMaskAll}
 }
+
+// AnalysisKinds is the minimal event-kind mask the online wasted-work
+// aggregation needs: run start, durable commits, brown-outs, reboots, and
+// recharge completions.
+var AnalysisKinds = mcu.MaskOf(mcu.TraceRunBegin, mcu.TraceCommit,
+	mcu.TraceBrownOut, mcu.TraceReboot, mcu.TraceRechargeDone)
+
+// NewAnalysisBuffer returns a ring subscribed only to AnalysisKinds. Its
+// Analysis() aggregates (commits, wasted work, recharge time) are
+// identical to a fully-subscribed buffer's, but the device skips the
+// per-iteration event kinds entirely — the right tracer for harness
+// sweeps that only consume the aggregation, at a fraction of the cost.
+func NewAnalysisBuffer(capacity int) *Buffer {
+	b := NewBuffer(capacity)
+	b.mask = AnalysisKinds
+	return b
+}
+
+// TraceMask implements mcu.TraceMasker: the device consults it once at
+// SetTracer time and never constructs masked-out events.
+func (b *Buffer) TraceMask() uint32 { return b.mask }
 
 // TraceEvent records one event, overwriting the oldest when full, and
 // feeds the online wasted-work aggregation.
@@ -59,7 +81,9 @@ func (b *Buffer) TraceEvent(e Event) {
 		b.events[b.next] = e
 		b.drops++
 	}
-	b.next = (b.next + 1) % cap(b.events)
+	if b.next++; b.next == cap(b.events) {
+		b.next = 0
+	}
 	b.count = len(b.events)
 	b.observe(e)
 }
