@@ -46,6 +46,8 @@ func main() {
 		minimize = flag.Bool("minimize", false, "with -schedule: shrink a failing schedule before printing it")
 		limit    = flag.Int("limit", 0, "max op count for exhaustive sweeps (0 = default)")
 		maxB     = flag.Int("max", 0, "boundaries sampled above -limit (0 = default)")
+		stride   = flag.Int("snap-stride", 0, "op stride of the golden snapshot train (0 = default)")
+		scratch  = flag.Bool("force-scratch", false, "disable snapshot-and-fork: simulate every check from scratch")
 	)
 	flag.Parse()
 	if err := profiler.Start(); err != nil {
@@ -56,6 +58,7 @@ func main() {
 	opt := intermittest.Options{
 		Seed: *seed, CheckWAR: *war,
 		ExhaustiveLimit: *limit, MaxBoundaries: *maxB,
+		SnapStride: *stride, ForceScratch: *scratch,
 	}
 
 	rts := runtimesByName(*rtName)
@@ -65,7 +68,7 @@ func main() {
 
 	code := 0
 	if *schedule != "" {
-		code = replay(qm, x, rts, *schedule, *war, *minimize)
+		code = replay(qm, x, rts, *schedule, opt, *minimize)
 	} else {
 		code = campaign(qm, x, rts, opt)
 	}
@@ -74,14 +77,14 @@ func main() {
 }
 
 // replay runs one explicit brown-out schedule under each selected runtime.
-func replay(qm *dnn.QuantModel, x []float64, rts []core.Runtime, schedule string, war, minimize bool) int {
+func replay(qm *dnn.QuantModel, x []float64, rts []core.Runtime, schedule string, opt intermittest.Options, minimize bool) int {
 	gaps, err := intermittest.ParseSchedule(schedule)
 	if err != nil {
 		fail(err)
 	}
 	failed := false
 	for _, rt := range rts {
-		c, err := intermittest.NewChecker(qm, x, rt, war)
+		c, err := intermittest.NewCheckerOpt(qm, x, rt, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -149,7 +152,7 @@ func firstFailing(qm *dnn.QuantModel, x []float64, r *intermittest.RuntimeReport
 	if b < 0 {
 		return nil
 	}
-	c, err := intermittest.NewChecker(qm, x, runtimeByName(r.Runtime), opt.CheckWAR)
+	c, err := intermittest.NewCheckerOpt(qm, x, runtimeByName(r.Runtime), opt)
 	if err != nil {
 		return []int{b}
 	}

@@ -39,8 +39,19 @@ func (Base) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
 	}
+	return Base{}.ResumeInfer(img, nil)
+}
+
+// ResumeInfer implements core.Resumer: Infer minus LoadInput, with an
+// optional pre-attempt hook for restoring a forked prefix.
+func (Base) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
 	dev := img.Dev
 	dev.Emit(mcu.TraceRunBegin, "base", 0)
+	if atReboot != nil {
+		if err := atReboot(); err != nil {
+			return nil, err
+		}
+	}
 	var outB bool
 	err := dev.Run(func() {
 		parity := false // input in ActA

@@ -56,11 +56,18 @@ func loadKind(r *mem.Region) mcu.OpKind {
 // Infer builds the task graph over the deployed image and drives it to
 // completion.
 func (t Tile) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
-	if t.TileSize <= 0 {
-		return nil, fmt.Errorf("baseline: invalid tile size %d", t.TileSize)
-	}
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
+	}
+	return t.ResumeInfer(img, nil)
+}
+
+// ResumeInfer implements core.Resumer: the full task-graph setup (runtime
+// allocation, sharing, building, Start) runs first, then atReboot — whose
+// prefix restore overwrites the setup's nonvolatile state — then the run.
+func (t Tile) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
+	if t.TileSize <= 0 {
+		return nil, fmt.Errorf("baseline: invalid tile size %d", t.TileSize)
 	}
 	logEntries := t.LogEntries
 	if logEntries == 0 {
@@ -85,6 +92,11 @@ func (t Tile) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	}
 	img.Dev.Emit(mcu.TraceRunBegin, t.Name(), int64(t.TileSize))
 	rt.Start(0)
+	if atReboot != nil {
+		if err := atReboot(); err != nil {
+			return nil, err
+		}
+	}
 	if err := rt.Run(); err != nil {
 		return nil, err
 	}

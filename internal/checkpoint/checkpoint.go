@@ -49,11 +49,17 @@ func (c Checkpoint) Name() string { return fmt.Sprintf("ckpt-%d", c.Interval) }
 
 // Infer runs one inference under the periodic checkpoint policy.
 func (c Checkpoint) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
-	if c.Interval < 2 {
-		return nil, fmt.Errorf("checkpoint: interval must be >= 2 (got %d); use SONIC for per-iteration durability", c.Interval)
-	}
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
+	}
+	return c.ResumeInfer(img, nil)
+}
+
+// ResumeInfer implements core.Resumer: Infer minus LoadInput, with an
+// optional pre-attempt hook for restoring a forked prefix.
+func (c Checkpoint) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
+	if c.Interval < 2 {
+		return nil, fmt.Errorf("checkpoint: interval must be >= 2 (got %d); use SONIC for per-iteration durability", c.Interval)
 	}
 	reg := c.RegWords
 	if reg == 0 {
@@ -61,6 +67,11 @@ func (c Checkpoint) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, erro
 	}
 	e := &sonic.Exec{Img: img, Dev: img.Dev, Every: c.Interval, RegWords: reg}
 	e.Dev.Emit(mcu.TraceRunBegin, c.Name(), int64(c.Interval))
+	if atReboot != nil {
+		if err := atReboot(); err != nil {
+			return nil, err
+		}
+	}
 	if err := e.Dev.Run(func() {
 		e.ResetVolatile()
 		e.Run(func(s *sonic.Exec, li int, parity bool, start sonic.Cursor) {

@@ -239,6 +239,22 @@ type Runtime interface {
 	Infer(img *Image, input []fixed.Q15) ([]fixed.Q15, error)
 }
 
+// Resumer is the optional Runtime extension behind snapshot-and-fork
+// fault-injection campaigns. ResumeInfer is Infer minus LoadInput: it
+// performs the runtime's host-side setup (allocations, executor
+// construction), then calls atReboot — which the campaign uses to restore
+// a recorded prefix of a golden run onto the device, leaving it exactly as
+// a from-scratch run would be at its first post-brown-out reboot — and
+// finally runs the intermittent retry loop, recovering from the restored
+// FRAM state as if power had just come back.
+//
+// atReboot runs after all setup-time host writes (which the restore
+// overwrites) and before the first attempt. A non-nil error aborts the
+// inference and is returned unchanged.
+type Resumer interface {
+	ResumeInfer(img *Image, atReboot func() error) ([]fixed.Q15, error)
+}
+
 // LayerName returns the section label used to attribute device operations
 // to layers in the Fig. 9/10/12 breakdowns: convolutional layers are
 // numbered "conv1", "conv2", ...; fully-connected layers (dense or sparse)

@@ -27,8 +27,20 @@ func (Broken) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
 	}
+	return Broken{}.ResumeInfer(img, nil)
+}
+
+// ResumeInfer implements core.Resumer, so the campaign's fork path covers
+// the negative control too — its corrupted logits must survive forking
+// bit-for-bit for the sweep's verdicts to stay trustworthy.
+func (Broken) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
 	e := &sonic.Exec{Img: img, Dev: img.Dev}
 	e.Dev.Emit(mcu.TraceRunBegin, "broken", 0)
+	if atReboot != nil {
+		if err := atReboot(); err != nil {
+			return nil, err
+		}
+	}
 	if err := e.Dev.Run(func() { e.ResetVolatile(); e.Run(brokenLayer) }); err != nil {
 		return nil, err
 	}

@@ -46,11 +46,21 @@ type Options struct {
 	// Workers is the sweep parallelism (defaults to GOMAXPROCS). Each
 	// boundary runs on its own fresh device, so workers share nothing.
 	Workers int
+	// SnapStride is the op stride of the golden run's snapshot train
+	// (<= 0 selects mcu.DefaultSnapStride). Denser trains shorten per-fork
+	// replay at the cost of recording more pages.
+	SnapStride int
+	// ForceScratch pins the original from-scratch path: no journal is
+	// recorded and every Check simulates the whole run. The fork oracle
+	// flips this knob to prove both paths are bit-identical.
+	ForceScratch bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.ExhaustiveLimit <= 0 {
-		o.ExhaustiveLimit = 50000
+		// Snapshot-and-fork serves each boundary in O(suffix), so the
+		// default exhaustive budget is 4x what full re-simulation afforded.
+		o.ExhaustiveLimit = 200000
 	}
 	if o.MaxBoundaries <= 0 {
 		o.MaxBoundaries = 512
@@ -143,6 +153,15 @@ func (r *Report) String() string {
 
 // Checker holds one runtime's golden result and checks failure schedules
 // against it. It is safe for concurrent Check calls.
+//
+// The golden run doubles as the recording run for snapshot-and-fork
+// checking: when the runtime implements core.Resumer (and ForceScratch is
+// off), the golden device journals a snapshot train plus op-exact effect
+// logs, and every subsequent Check whose first failure lands inside the
+// recorded range restores the nearest snapshot and simulates only the
+// suffix — bit-identical to a from-scratch run, as the fork oracle proves.
+// The quantized input is computed once here and shared read-only by every
+// worker; forked checks skip LoadInput entirely.
 type Checker struct {
 	qm       *dnn.QuantModel
 	qin      []fixed.Q15
@@ -154,23 +173,41 @@ type Checker struct {
 	totalOps  int64
 	maxRegion int64
 	goldenWAR []mcu.WARViolation
+
+	journal *mcu.Journal
+	resumer core.Resumer
 }
 
 // NewChecker runs the runtime once under continuous power and captures the
-// golden logits and total op count. The golden run is per-runtime because
-// accelerated runtimes (TAILS) compute bit-different but equally valid
-// logits vs the software kernels.
+// golden logits, total op count, and (for core.Resumer runtimes) the fork
+// journal. The golden run is per-runtime because accelerated runtimes
+// (TAILS) compute bit-different but equally valid logits vs the software
+// kernels.
 func NewChecker(qm *dnn.QuantModel, x []float64, rt core.Runtime, checkWAR bool) (*Checker, error) {
-	c := &Checker{qm: qm, qin: qm.QuantizeInput(x), rt: rt, checkWAR: checkWAR}
+	return NewCheckerOpt(qm, x, rt, Options{CheckWAR: checkWAR})
+}
+
+// NewCheckerOpt is NewChecker with full campaign options (snapshot stride,
+// ForceScratch).
+func NewCheckerOpt(qm *dnn.QuantModel, x []float64, rt core.Runtime, opt Options) (*Checker, error) {
+	c := &Checker{qm: qm, qin: qm.QuantizeInput(x), rt: rt, checkWAR: opt.CheckWAR}
 	dev := mcu.New(energy.Continuous{})
-	if checkWAR {
+	if opt.CheckWAR {
 		dev.EnableWARCheck()
 	}
 	img, err := core.Deploy(dev, qm)
 	if err != nil {
 		return nil, fmt.Errorf("intermittest: golden deploy: %w", err)
 	}
+	resumer, canFork := rt.(core.Resumer)
+	var j *mcu.Journal
+	if canFork && !opt.ForceScratch {
+		j = dev.StartJournal(opt.SnapStride)
+	}
 	want, err := rt.Infer(img, c.qin)
+	if j != nil {
+		dev.StopJournal()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("intermittest: golden %s run: %w", rt.Name(), err)
 	}
@@ -179,10 +216,19 @@ func NewChecker(qm *dnn.QuantModel, x []float64, rt core.Runtime, checkWAR bool)
 	for _, n := range dev.Stats().OpCount {
 		c.totalOps += n
 	}
+	if j != nil && j.MaxOp() == c.totalOps {
+		c.journal = j
+		c.resumer = resumer
+	}
 	c.maxRegion = dev.Stats().MaxRegionOps
 	c.goldenWAR = dev.WARViolations()
 	return c, nil
 }
+
+// Forks reports whether Check serves single-prefix schedules from the
+// golden journal (false when the runtime cannot resume or ForceScratch
+// pinned the original path).
+func (c *Checker) Forks() bool { return c.journal != nil }
 
 // LiveGapFloor returns the smallest per-cycle op budget that guarantees
 // this runtime commits at least one atomic region per charge cycle: twice
@@ -227,6 +273,12 @@ type ScheduleResult struct {
 	Mismatch *Mismatch
 	WARCount int
 	WAR      []mcu.WARViolation
+
+	// Stats is the faulted device's final accounting — identical between
+	// the forked and from-scratch paths (the fork oracle's strongest
+	// check). It is nil for sweep results served by equivalence-class
+	// dedup, which copies verdicts rather than simulating.
+	Stats *mcu.Stats
 }
 
 // Failing reports whether the schedule exposed a bug: a logit divergence, a
@@ -256,6 +308,13 @@ func (r *ScheduleResult) String() string {
 
 // Check runs the runtime under the given brown-out schedule (ops before the
 // k-th failure) on a fresh device and differentially checks the result.
+//
+// When the golden journal is available and the schedule's first failure
+// lands inside the recorded run, the check forks: the device is restored
+// to the recorded prefix at that boundary (first reboot included) and only
+// the suffix — plus any later failures in the schedule — is simulated.
+// Otherwise (no journal, ForceScratch, or a first gap beyond the run) the
+// whole schedule is simulated from scratch. Both paths are bit-identical.
 func (c *Checker) Check(gaps []int) *ScheduleResult {
 	res := &ScheduleResult{Runtime: c.rt.Name(), Gaps: gaps}
 	dev := mcu.New(energy.NewFailSchedule(gaps))
@@ -267,7 +326,15 @@ func (c *Checker) Check(gaps []int) *ScheduleResult {
 		res.Err = err
 		return res
 	}
-	got, err := c.rt.Infer(img, c.qin)
+	var got []fixed.Q15
+	if c.journal != nil && len(gaps) > 0 && gaps[0] >= 1 && int64(gaps[0]) <= c.totalOps {
+		got, err = c.resumer.ResumeInfer(img, func() error {
+			return c.journal.RestorePrefix(dev, int64(gaps[0]))
+		})
+	} else {
+		got, err = c.rt.Infer(img, c.qin)
+	}
+	res.Stats = dev.Stats()
 	res.WARCount = dev.WARCount()
 	res.WAR = dev.WARViolations()
 	if err != nil {
@@ -296,48 +363,76 @@ func (c *Checker) Check(gaps []int) *ScheduleResult {
 }
 
 // Minimize greedily shrinks a failing schedule while it keeps failing:
-// first dropping whole failures, then rounding the surviving gaps down to
-// the smallest value that still fails (binary search per gap). The returned
-// schedule is 1-minimal under element removal.
+// dropping whole failures, then rounding the surviving gaps down to the
+// smallest value that still fails (binary search per gap), repeated to a
+// fixpoint. The returned schedule is 1-minimal: removing any element, or
+// decrementing any gap, yields a schedule that passes. Every probe goes
+// through Check, so the binary searches reuse the golden snapshot train —
+// each candidate costs only its suffix.
 func (c *Checker) Minimize(gaps []int) []int {
 	if !c.Check(gaps).Failing() {
 		return gaps
 	}
 	cur := append([]int(nil), gaps...)
-	for changed := true; changed; {
-		changed = false
-		for i := 0; i < len(cur); i++ {
-			cand := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
-			if c.Check(cand).Failing() {
-				cur = cand
-				changed = true
-				i--
+	for {
+		prev := append([]int(nil), cur...)
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < len(cur); i++ {
+				cand := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
+				if c.Check(cand).Failing() {
+					cur = cand
+					changed = true
+					i--
+				}
+			}
+		}
+		for i := range cur {
+			lo, hi := 1, cur[i] // invariant: schedule with cur[i]=hi fails
+			for lo < hi {
+				mid := (lo + hi) / 2
+				cand := append([]int(nil), cur...)
+				cand[i] = mid
+				if c.Check(cand).Failing() {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			cur[i] = hi
+		}
+		// Shrinking one gap can re-enable shrinking another; loop until a
+		// whole cycle changes nothing, so the result is 1-minimal.
+		if len(prev) == len(cur) {
+			same := true
+			for i := range cur {
+				if cur[i] != prev[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return cur
 			}
 		}
 	}
-	for i := range cur {
-		lo, hi := 1, cur[i] // invariant: schedule with cur[i]=hi fails
-		for lo < hi {
-			mid := (lo + hi) / 2
-			cand := append([]int(nil), cur...)
-			cand[i] = mid
-			if c.Check(cand).Failing() {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		cur[i] = hi
-	}
-	return cur
 }
 
 // SweepRuntime runs the single-failure brown-out placement campaign for one
 // runtime: golden run, boundary selection, then one faulted run per
-// boundary across Workers goroutines.
+// equivalence class of boundaries across Workers goroutines.
+//
+// With the golden journal available, boundaries are grouped into
+// equivalence classes before any simulation: two boundaries whose prefixes
+// end at the same last nonvolatile write (and the same WAR-event count)
+// restore identical machine images, so their forked suffixes are
+// op-for-op the same run. One representative per class is simulated; the
+// other members' verdicts are copied, with WAR record positions rebased to
+// their own boundary. Coverage is unchanged — every boundary still gets a
+// verdict, it just isn't recomputed when it's provably identical.
 func SweepRuntime(qm *dnn.QuantModel, x []float64, rt core.Runtime, opt Options) (*RuntimeReport, error) {
 	opt = opt.withDefaults()
-	c, err := NewChecker(qm, x, rt, opt.CheckWAR)
+	c, err := NewCheckerOpt(qm, x, rt, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -351,6 +446,39 @@ func SweepRuntime(qm *dnn.QuantModel, x []float64, rt core.Runtime, opt Options)
 	rep.Exhaustive = exhaustive
 	rep.Swept = len(bounds)
 
+	// Representative selection: index into bounds of each boundary's class
+	// representative (itself when no journal, or when it leads its class).
+	repOf := make([]int, len(bounds))
+	for i := range repOf {
+		repOf[i] = i
+	}
+	if c.journal != nil {
+		type classKey struct {
+			lastWrite int64
+			warCount  int
+		}
+		seen := make(map[classKey]int, len(bounds))
+		for i, b := range bounds {
+			pre := int64(b) - 1
+			k := classKey{lastWrite: c.journal.LastFRAMWriteAtOrBefore(pre)}
+			if c.checkWAR {
+				k.warCount, _ = c.journal.WARPrefix(int64(b))
+			}
+			if first, ok := seen[k]; ok {
+				repOf[i] = first
+			} else {
+				seen[k] = i
+			}
+		}
+	}
+
+	// One gaps arena for the whole sweep: per-check []int{b} slices are
+	// carved from it instead of allocated in the worker loop.
+	gapsArena := make([]int, len(bounds))
+	for i, b := range bounds {
+		gapsArena[i] = b
+	}
+
 	results := make([]*ScheduleResult, len(bounds))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -359,15 +487,24 @@ func SweepRuntime(qm *dnn.QuantModel, x []float64, rt core.Runtime, opt Options)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = c.Check([]int{bounds[i]})
+				results[i] = c.Check(gapsArena[i : i+1 : i+1])
 			}
 		}()
 	}
 	for i := range bounds {
-		next <- i
+		if repOf[i] == i {
+			next <- i
+		}
 	}
 	close(next)
 	wg.Wait()
+
+	// Fill the non-representative members from their class results.
+	for i := range bounds {
+		if repOf[i] != i {
+			results[i] = c.cloneResult(results[repOf[i]], bounds[repOf[i]], gapsArena[i:i+1:i+1])
+		}
+	}
 
 	for i, r := range results {
 		b := bounds[i]
@@ -387,6 +524,43 @@ func SweepRuntime(qm *dnn.QuantModel, x []float64, rt core.Runtime, opt Options)
 		}
 	}
 	return rep, nil
+}
+
+// cloneResult derives boundary b's verdict from its class representative's
+// without simulating. Both forks restore the identical machine image (same
+// last nonvolatile write, same WAR prefix) and run the identical suffix, so
+// everything except op positions carries over: the Mismatch gets b as its
+// boundary, the WAR count and records get the prefix recomputed for b with
+// the representative's suffix events shifted by the boundary offset —
+// exactly what a real fork at b would record. Stats stay nil: per-section
+// op attribution depends on the prefix and is not needed for verdicts.
+func (c *Checker) cloneResult(rep *ScheduleResult, repB int, gaps []int) *ScheduleResult {
+	b := gaps[0]
+	res := &ScheduleResult{Runtime: rep.Runtime, Gaps: gaps, DNC: rep.DNC, Err: rep.Err}
+	if rep.Mismatch != nil {
+		m := *rep.Mismatch
+		m.Boundary = b
+		res.Mismatch = &m
+	}
+	if c.checkWAR {
+		prefB, keptB := c.journal.WARPrefix(int64(b))
+		prefRep, _ := c.journal.WARPrefix(int64(repB))
+		res.WARCount = prefB + (rep.WARCount - prefRep)
+		war := keptB
+		shift := int64(b - repB)
+		for _, v := range rep.WAR {
+			if v.Op < int64(repB) {
+				continue // representative's own prefix records, superseded by keptB
+			}
+			if len(war) >= mcu.WARMaxKeep {
+				break
+			}
+			v.Op += shift
+			war = append(war, v)
+		}
+		res.WAR = war
+	}
+	return res
 }
 
 // Campaign sweeps every runtime and collects the per-runtime reports.

@@ -15,9 +15,13 @@ type WARViolation struct {
 	Op     int64  // total charged ops when the store executed (failure placement)
 }
 
-// warMaxKeep bounds the retained violation records; WARCount keeps the true
+// WARMaxKeep bounds the retained violation records; WARCount keeps the true
 // total so a flood of violations stays visible without unbounded memory.
-const warMaxKeep = 64
+// Exported so the fork-based campaign can rebuild capped record lists
+// identical to a from-scratch run's.
+const WARMaxKeep = 64
+
+const warMaxKeep = WARMaxKeep
 
 // EnableWARCheck switches on the memory-consistency shadow tracker. Every
 // subsequent FRAM access through Load/Store/StoreIndex/DMA is checked for
@@ -81,17 +85,21 @@ func (d *Device) shadowWrite(r *mem.Region, i int) {
 		return
 	}
 	d.warCount++
-	if len(d.warViolations) < warMaxKeep {
-		var total int64
-		for _, c := range d.stats.OpCount {
-			total += c
-		}
-		d.warViolations = append(d.warViolations, WARViolation{
-			Region: r.Name,
-			Index:  i,
-			Layer:  d.section.Layer,
-			Phase:  d.section.Phase,
-			Op:     total,
-		})
+	keep := len(d.warViolations) < warMaxKeep
+	if !keep && d.journal == nil {
+		return
+	}
+	v := WARViolation{
+		Region: r.Name,
+		Index:  i,
+		Layer:  d.section.Layer,
+		Phase:  d.section.Phase,
+		Op:     d.opsTotal,
+	}
+	if keep {
+		d.warViolations = append(d.warViolations, v)
+	}
+	if j := d.journal; j != nil {
+		j.onWAR(v)
 	}
 }

@@ -173,6 +173,13 @@ type Device struct {
 	rebootsSinceProgress int
 	inAttempt            bool
 	opsInRegion          int64
+
+	// opsTotal counts every charged operation since construction (or the
+	// last ResetStats) — always equal to the sum of stats.OpCount. It is
+	// the op-position coordinate the snapshot/fork machinery (journal.go)
+	// indexes everything by.
+	opsTotal int64
+	journal  *Journal
 }
 
 // New returns a device with the standard MSP430FR5994 memory sizes.
@@ -257,6 +264,7 @@ func (d *Device) ResetStats() {
 	d.stats = Stats{Sections: make(map[Section]*SectionStats)}
 	d.batchOps = 0
 	d.opsInRegion = 0
+	d.opsTotal = 0
 	d.secStats = nil // force SetSection to re-resolve into the fresh map
 	d.prevSec, d.prevSecStats = Section{}, nil
 	d.SetSection("boot", PhaseControl)
@@ -291,6 +299,9 @@ func (d *Device) SetSection(layer string, phase Phase) {
 		d.secStats = ss
 	}
 	d.prevSec, d.prevSecStats = prev, prevStats
+	if j := d.journal; j != nil {
+		j.onSection(sec)
+	}
 }
 
 // Section returns the current attribution label.
@@ -301,6 +312,9 @@ func (d *Device) Section() (string, Phase) { return d.section.Layer, d.section.P
 // power-failure sentinel, recovered by Attempt). The accounting is the n=1
 // body of account, open-coded so the hot path is a single call frame.
 func (d *Device) Op(k OpKind) {
+	if j := d.journal; j != nil {
+		j.onOp(k)
+	}
 	// The devirtualized intermittent charge is open-coded (an inlined
 	// integer subtract); everything else goes through consume1.
 	if p := d.intPower; p != nil && !d.ForceScalar {
@@ -310,6 +324,7 @@ func (d *Device) Op(k OpKind) {
 	} else if !d.consume1(k) {
 		d.brownOut(k)
 	}
+	d.opsTotal++
 	d.stats.OpCount[k]++
 	d.secStats.OpCount[k]++
 	d.opsInRegion++
@@ -350,7 +365,11 @@ func (d *Device) consume1(k OpKind) bool {
 // — the invariant the bulk-charge fast path and the differential oracle
 // rely on.
 func (d *Device) account(k OpKind, n int) {
+	if j := d.journal; j != nil {
+		j.onOps(k, n)
+	}
 	nn := int64(n)
+	d.opsTotal += nn
 	d.stats.OpCount[k] += nn
 	d.secStats.OpCount[k] += nn
 	d.opsInRegion += nn
@@ -475,11 +494,17 @@ func (d *Device) StoreRange(r *mem.Region, i int, vs []int64) {
 	}
 	k := storeOp(r)
 	funded := d.chargeOps(k, n)
+	if jr := d.journal; jr != nil {
+		jr.beginBatch(funded)
+	}
 	for j := 0; j < funded; j++ {
 		if d.shadow != nil {
 			d.shadowWrite(r, i+j)
 		}
 		r.Put(i+j, vs[j])
+	}
+	if jr := d.journal; jr != nil {
+		jr.endBatch()
 	}
 	if funded < n {
 		d.brownOut(k)
@@ -533,6 +558,9 @@ func (d *Device) Progress() {
 		d.stats.MaxRegionOps = d.opsInRegion
 	}
 	d.opsInRegion = 0
+	if j := d.journal; j != nil {
+		j.onCommit()
+	}
 	if d.shadow != nil {
 		d.shadow.Commit()
 	}

@@ -33,12 +33,18 @@ func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int
 	// prefix of words transferred — the same partial destination a
 	// word-by-word failure leaves.
 	funded := d.chargeOps(OpDMAWord, n)
+	if j := d.journal; j != nil {
+		j.beginBatch(funded)
+	}
 	for i := 0; i < funded; i++ {
 		if d.shadow != nil {
 			d.shadowRead(src, srcOff+i)
 			d.shadowWrite(dst, dstOff+i)
 		}
 		dst.Put(dstOff+i, src.Get(srcOff+i))
+	}
+	if j := d.journal; j != nil {
+		j.endBatch()
 	}
 	if funded < n {
 		d.brownOut(OpDMAWord)

@@ -40,6 +40,14 @@ type Memory struct {
 	capacity int
 	used     int
 	regions  []*Region
+	obs      PutObserver
+}
+
+// PutObserver sees every host- or device-side Put into an observed bank.
+// The mcu journal uses it to log nonvolatile writes during a recording run;
+// a nil observer costs one predictable branch per Put.
+type PutObserver interface {
+	OnPut(r *Region, i int, v int64)
 }
 
 // New returns a memory bank of the given kind and byte capacity.
@@ -69,6 +77,7 @@ type Region struct {
 	mem       *Memory
 	kind      Kind // copy of mem.kind, so Kind() avoids the pointer chase
 	words     []int64
+	obs       PutObserver
 }
 
 // Alloc reserves a region of n words of elemBytes each, or fails if the
@@ -83,10 +92,37 @@ func (m *Memory) Alloc(name string, n, elemBytes int) (*Region, error) {
 			m.kind, name, bytes, m.Free())
 	}
 	m.used += bytes
-	r := &Region{Name: name, ElemBytes: elemBytes, mem: m, kind: m.kind, words: make([]int64, n)}
+	r := &Region{Name: name, ElemBytes: elemBytes, mem: m, kind: m.kind, words: make([]int64, n), obs: m.obs}
 	m.regions = append(m.regions, r)
 	return r, nil
 }
+
+// SetObserver installs (or with nil removes) a Put observer on the bank and
+// every region it has handed out; regions allocated later inherit it.
+func (m *Memory) SetObserver(o PutObserver) {
+	m.obs = o
+	for _, r := range m.regions {
+		r.obs = o
+	}
+}
+
+// IndexOf returns r's position in the bank's live region list, or -1. The
+// index is stable while no region is released, which lets a recording keyed
+// by index be replayed onto a structurally identical bank.
+func (m *Memory) IndexOf(r *Region) int {
+	for i, reg := range m.regions {
+		if reg == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// RegionAt returns the i-th live region.
+func (m *Memory) RegionAt(i int) *Region { return m.regions[i] }
+
+// Regions returns the number of live regions.
+func (m *Memory) Regions() int { return len(m.regions) }
 
 // MustAlloc is Alloc that panics on failure; for fixed-size runtime
 // metadata whose fit is a program invariant.
@@ -142,7 +178,12 @@ func (r *Region) Get(i int) int64 { return r.words[i] }
 
 // Put writes word i without energy accounting (host-side initialization,
 // e.g. placing weights at deploy time).
-func (r *Region) Put(i int, v int64) { r.words[i] = v }
+func (r *Region) Put(i int, v int64) {
+	if r.obs != nil {
+		r.obs.OnPut(r, i, v)
+	}
+	r.words[i] = v
+}
 
 // Words exposes the raw storage for host-side bulk initialization.
 func (r *Region) Words() []int64 { return r.words }

@@ -1,0 +1,133 @@
+package mem
+
+import "fmt"
+
+// SnapPageWords is the page granularity of bank snapshots: unchanged pages
+// are shared (by slice reference) with the previous snapshot in a train, so
+// a stride-S train over a long run costs a small multiple of live memory
+// rather than S full copies.
+const SnapPageWords = 256
+
+type regionSnap struct {
+	name  string
+	words int
+	pages [][]int64 // page p covers words [p*SnapPageWords, ...); last may be short
+}
+
+// Snapshot is an immutable copy of a bank's full contents, taken by
+// Memory.Snapshot. Pages unchanged since the previous snapshot alias the
+// previous snapshot's storage; callers must treat snapshots as read-only.
+type Snapshot struct {
+	kind    Kind
+	regions []regionSnap
+}
+
+// Snapshot captures the bank's contents. prev, if non-nil and structurally
+// identical (same region count, names, and lengths), is the previous
+// snapshot in the train: pages equal to their prev counterpart are shared
+// instead of copied. dirty, if non-nil, is a hint that page p of region r
+// may have changed since prev; clean pages are shared without comparison.
+func (m *Memory) Snapshot(prev *Snapshot, dirty func(region, page int) bool) *Snapshot {
+	s := &Snapshot{kind: m.kind, regions: make([]regionSnap, len(m.regions))}
+	if prev != nil && !m.matches(prev) {
+		prev = nil
+	}
+	for ri, r := range m.regions {
+		n := len(r.words)
+		np := (n + SnapPageWords - 1) / SnapPageWords
+		rs := regionSnap{name: r.Name, words: n, pages: make([][]int64, np)}
+		for p := 0; p < np; p++ {
+			lo := p * SnapPageWords
+			hi := lo + SnapPageWords
+			if hi > n {
+				hi = n
+			}
+			live := r.words[lo:hi]
+			if prev != nil {
+				old := prev.regions[ri].pages[p]
+				if (dirty != nil && !dirty(ri, p)) || pageEqual(live, old) {
+					rs.pages[p] = old
+					continue
+				}
+			}
+			rs.pages[p] = append([]int64(nil), live...)
+		}
+		s.regions[ri] = rs
+	}
+	return s
+}
+
+func pageEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Memory) matches(s *Snapshot) bool {
+	if s.kind != m.kind || len(s.regions) != len(m.regions) {
+		return false
+	}
+	for ri, r := range m.regions {
+		if s.regions[ri].name != r.Name || s.regions[ri].words != len(r.words) {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreTo copies the snapshot's contents into a structurally identical
+// bank — the bank the snapshot was taken from, or another bank whose
+// region list (count, names, lengths) matches word for word, as a fork
+// device's does after a deterministic re-deploy.
+func (s *Snapshot) RestoreTo(m *Memory) error {
+	if !m.matches(s) {
+		return fmt.Errorf("mem: snapshot does not match %s bank layout (%d regions vs %d)",
+			m.kind, len(s.regions), len(m.regions))
+	}
+	for ri, rs := range s.regions {
+		words := m.regions[ri].words
+		for p, page := range rs.pages {
+			copy(words[p*SnapPageWords:], page)
+		}
+	}
+	return nil
+}
+
+// shadowWordSnap is one saved in-flight shadow word state.
+type shadowWordSnap struct {
+	r  *Region
+	i  int
+	st uint8
+}
+
+// ShadowSnapshot captures a Shadow's in-flight (uncommitted) word states.
+type ShadowSnapshot struct {
+	words []shadowWordSnap
+}
+
+// Snapshot captures the tracker's in-flight state — every word touched
+// since the last commit or abort. The exempt set is structural (rebuilt by
+// whoever configured the tracker) and is not captured.
+func (s *Shadow) Snapshot() *ShadowSnapshot {
+	snap := &ShadowSnapshot{words: make([]shadowWordSnap, 0, len(s.touched))}
+	for _, t := range s.touched {
+		snap.words = append(snap.words, shadowWordSnap{t.r, t.i, s.state[t.r][t.i]})
+	}
+	return snap
+}
+
+// Restore rewinds the tracker to a snapshot taken from the same Shadow:
+// current in-flight state is discarded and the saved word states reapplied.
+func (s *Shadow) Restore(snap *ShadowSnapshot) {
+	s.clear()
+	for _, w := range snap.words {
+		s.words(w.r)[w.i] = w.st
+		s.touched = append(s.touched, touchedWord{w.r, w.i})
+	}
+}

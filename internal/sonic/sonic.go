@@ -78,8 +78,21 @@ func (s SONIC) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
 	}
+	return s.ResumeInfer(img, nil)
+}
+
+// ResumeInfer implements core.Resumer: Infer minus LoadInput, with an
+// optional pre-attempt hook for restoring a forked prefix. Loop
+// continuation needs no special resume handling — recovering from whatever
+// the restored cursor says is exactly its normal reboot path.
+func (s SONIC) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
 	e := &Exec{Img: img, Dev: img.Dev, SparseViaBuffering: s.SparseViaBuffering}
 	e.Dev.Emit(mcu.TraceRunBegin, s.Name(), 0)
+	if atReboot != nil {
+		if err := atReboot(); err != nil {
+			return nil, err
+		}
+	}
 	if err := e.Dev.Run(func() { e.ResetVolatile(); e.Run(runLayerSONIC) }); err != nil {
 		return nil, err
 	}

@@ -95,6 +95,14 @@ func (t TAILS) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
 	}
+	return t.ResumeInfer(img, nil)
+}
+
+// ResumeInfer implements core.Resumer: Infer minus LoadInput, with an
+// optional pre-attempt hook for restoring a forked prefix. The SRAM
+// scratch allocations precede the restore, which clears their contents the
+// same way the modelled reboot does.
+func (t TAILS) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
 	dev := img.Dev
 	sc := &scratch{}
 	var err error
@@ -113,6 +121,11 @@ func (t TAILS) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 
 	s := &sonic.Exec{Img: img, Dev: dev}
 	dev.Emit(mcu.TraceRunBegin, t.Name(), 0)
+	if atReboot != nil {
+		if err := atReboot(); err != nil {
+			return nil, err
+		}
+	}
 	if err := dev.Run(func() {
 		s.ResetVolatile()
 		t.calibrate(s, sc)
