@@ -14,6 +14,8 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/dnn"
+	"repro/internal/genesis"
 	"repro/internal/harness"
 	sonicpkg "repro/internal/sonic"
 )
@@ -40,6 +42,51 @@ func prepare(b *testing.B) ([]*harness.Prepared, *harness.Eval) {
 		b.Fatal(prepErr)
 	}
 	return prepped, prepEval
+}
+
+// BenchmarkTrain measures the float64 training loop on the HAR network —
+// the inner loop GENESIS's sweep spends most of its time in. One iteration
+// is one epoch over 240 samples; -benchmem makes per-sample allocation
+// regressions (the scratch-tensor reuse this repo relies on) visible.
+func BenchmarkTrain(b *testing.B) {
+	ds, err := dnn.DatasetFor("har", 1, 360, 90)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := dnn.NetworkFor("har", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.MaxSamplesPerEpoch = 240
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dnn.Train(n, ds, cfg)
+	}
+}
+
+// BenchmarkGenesisQuick measures one full quick-mode GENESIS sweep for the
+// HAR network: base training, per-config fine-tuning, quantization, and
+// measured deployment. This is the preparation pipeline PR 5 parallelized.
+func BenchmarkGenesisQuick(b *testing.B) {
+	opts := genesis.DefaultOptions("har")
+	opts.TrainSamples, opts.TestSamples = 360, 90
+	opts.Epochs, opts.FineTuneEpochs = 2, 1
+	opts.MaxSamplesPerEpoch = 240
+	opts.PruneLevels = []float64{0.75, 0.9}
+	opts.RankFracs = []float64{0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := genesis.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Chosen < 0 {
+			b.Fatal("no feasible configuration chosen")
+		}
+	}
 }
 
 // BenchmarkFig1 regenerates Fig. 1: IMpJ vs accuracy sending full images.

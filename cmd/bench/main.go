@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	bench                      # measure and write BENCH_PR4.json
+//	bench                      # measure and write BENCH_PR5.json
 //	bench -count 5 -out /tmp/b.json
 package main
 
@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/dnn"
 	"repro/internal/harness"
 	"repro/internal/intermittest"
 	"repro/internal/prof"
@@ -49,6 +50,22 @@ type report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
 
+	// Prepare times the quick-mode GENESIS preparation of all three
+	// networks three ways: pinned serial, parallel (the new default), and
+	// warm from the content-addressed report cache. WarmTrainEpochs proves
+	// the warm runs performed zero training. The parallel speedup scales
+	// with GOMAXPROCS; on a 1-CPU runner it is ~1x by construction.
+	Prepare struct {
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		SerialNsPerOp   int64   `json:"serial_ns_per_op"`
+		ParallelNsPerOp int64   `json:"parallel_ns_per_op"`
+		WarmNsPerOp     int64   `json:"warm_ns_per_op"`
+		ParallelSpeedup float64 `json:"parallel_speedup"`
+		WarmSpeedup     float64 `json:"warm_speedup"`
+		WarmTrainEpochs int64   `json:"warm_train_epochs"`
+		Iterations      int     `json:"iterations"`
+	} `json:"prepare"`
+
 	Fig9 struct {
 		BeforeNsPerOp int64      `json:"before_ns_per_op"`
 		AfterNsPerOp  int64      `json:"after_ns_per_op"`
@@ -73,7 +90,7 @@ var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR5.json", "output JSON path")
 		count = flag.Int("count", 3, "timed iterations per workload")
 		seed  = flag.Uint64("seed", 1, "model seed")
 	)
@@ -87,15 +104,69 @@ func main() {
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
 
-	// Fig. 9 matrix: GENESIS preparation is untimed (as in BenchmarkFig9);
-	// the timed region is the full 72-cell measurement.
-	fmt.Fprintln(os.Stderr, "bench: preparing models (quick GENESIS sweep)...")
-	prepped, err := harness.PrepareAll(harness.PrepareOptions{Seed: *seed, Quick: true})
+	// Preparation pipeline: quick-mode PrepareAll, serial vs parallel vs
+	// warm-cache. The parallel run's last result doubles as the Fig. 9
+	// model set (parallel ≡ serial, per TestGenesisParallelDeterministic).
+	rep.Prepare.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Prepare.Iterations = *count
+
+	fmt.Fprintf(os.Stderr, "bench: PrepareAll (serial) × %d...\n", *count)
+	start := time.Now()
+	for i := 0; i < *count; i++ {
+		if _, err := harness.PrepareAll(harness.PrepareOptions{
+			Seed: *seed, Quick: true, ForceSerial: true}); err != nil {
+			fail(err)
+		}
+	}
+	rep.Prepare.SerialNsPerOp = time.Since(start).Nanoseconds() / int64(*count)
+
+	fmt.Fprintf(os.Stderr, "bench: PrepareAll (parallel) × %d...\n", *count)
+	var prepped []*harness.Prepared
+	start = time.Now()
+	for i := 0; i < *count; i++ {
+		var err error
+		if prepped, err = harness.PrepareAll(harness.PrepareOptions{
+			Seed: *seed, Quick: true}); err != nil {
+			fail(err)
+		}
+	}
+	rep.Prepare.ParallelNsPerOp = time.Since(start).Nanoseconds() / int64(*count)
+	rep.Prepare.ParallelSpeedup = float64(rep.Prepare.SerialNsPerOp) / float64(rep.Prepare.ParallelNsPerOp)
+
+	cacheDir, err := os.MkdirTemp("", "bench-report-cache-")
 	if err != nil {
 		fail(err)
 	}
+	defer os.RemoveAll(cacheDir)
+	warmPO := harness.PrepareOptions{Seed: *seed, Quick: true, CacheDir: cacheDir}
+	if _, err := harness.PrepareAll(warmPO); err != nil { // populate the cache
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: PrepareAll (warm cache) × %d...\n", *count)
+	epochsBefore := dnn.EpochsRun()
+	start = time.Now()
+	for i := 0; i < *count; i++ {
+		warm, err := harness.PrepareAll(warmPO)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range warm {
+			if !p.CacheHit {
+				fail(fmt.Errorf("warm run missed the report cache for %s", p.Net))
+			}
+		}
+	}
+	rep.Prepare.WarmNsPerOp = time.Since(start).Nanoseconds() / int64(*count)
+	rep.Prepare.WarmSpeedup = float64(rep.Prepare.SerialNsPerOp) / float64(rep.Prepare.WarmNsPerOp)
+	rep.Prepare.WarmTrainEpochs = dnn.EpochsRun() - epochsBefore
+	if rep.Prepare.WarmTrainEpochs != 0 {
+		fail(fmt.Errorf("warm-cache runs performed %d training epochs, want 0",
+			rep.Prepare.WarmTrainEpochs))
+	}
+	// Fig. 9 matrix: GENESIS preparation is untimed (as in BenchmarkFig9);
+	// the timed region is the full 72-cell measurement.
 	fmt.Fprintf(os.Stderr, "bench: Fig. 9 matrix × %d...\n", *count)
-	start := time.Now()
+	start = time.Now()
 	for i := 0; i < *count; i++ {
 		if _, err := harness.RunAll(prepped); err != nil {
 			fail(err)
@@ -175,6 +246,11 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fail(err)
 	}
+	fmt.Printf("prepare: serial %.3fs parallel %.3fs (%.2fx, GOMAXPROCS=%d) warm %.3fs (%.2fx, 0 epochs)\n",
+		float64(rep.Prepare.SerialNsPerOp)/1e9,
+		float64(rep.Prepare.ParallelNsPerOp)/1e9, rep.Prepare.ParallelSpeedup,
+		rep.Prepare.GOMAXPROCS,
+		float64(rep.Prepare.WarmNsPerOp)/1e9, rep.Prepare.WarmSpeedup)
 	fmt.Printf("fig9: %.3fs/op (%.2fx over pre-bulk %.3fs)  campaign: %.3fs/op (%.2fx over from-scratch %.3fs)  -> %s\n",
 		float64(rep.Fig9.AfterNsPerOp)/1e9, rep.Fig9.Speedup,
 		float64(preBulkFig9NsPerOp)/1e9,

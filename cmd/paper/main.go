@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/dnn"
 	"repro/internal/harness"
 	"repro/internal/prof"
 )
@@ -36,6 +37,8 @@ func main() {
 		csv    = flag.Bool("csv", false, "CSV output")
 		outDir = flag.String("out", "", "also write each table as CSV into this directory")
 		seed   = flag.Uint64("seed", 1, "rng seed")
+		cache  = flag.String("cache", "", "report/model cache directory (warm runs skip training)")
+		serial = flag.Bool("serial", false, "disable parallel preparation (single goroutine)")
 	)
 	flag.Parse()
 	if err := profiler.Start(); err != nil {
@@ -85,11 +88,23 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(os.Stderr, "preparing models with GENESIS (quick=%v)...\n", *quick)
-	prepared, err := harness.PrepareAll(harness.PrepareOptions{Seed: *seed, Quick: *quick})
+	fmt.Fprintf(os.Stderr, "preparing models with GENESIS (quick=%v serial=%v cache=%q)...\n",
+		*quick, *serial, *cache)
+	prepared, err := harness.PrepareAll(harness.PrepareOptions{
+		Seed: *seed, Quick: *quick, CacheDir: *cache, ForceSerial: *serial})
 	if err != nil {
 		fail(err)
 	}
+	if *cache != "" {
+		for _, p := range prepared {
+			state := "miss"
+			if p.CacheHit {
+				state = "hit"
+			}
+			fmt.Fprintf(os.Stderr, "genesis report cache %s for %s\n", state, p.Net)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "training epochs run: %d\n", dnn.EpochsRun())
 	if *all || *table == 2 {
 		emit(harness.Table2(prepared))
 	}

@@ -22,8 +22,9 @@ type Conv struct {
 	B            *tensor.Tensor // (F)
 	Mask         []bool         // nil = dense; else len == W.Len()
 
-	dW, dB  *tensor.Tensor
-	inCache *tensor.Tensor
+	dW, dB        *tensor.Tensor
+	inCache       *tensor.Tensor
+	outBuf, dxBuf *tensor.Tensor
 }
 
 // NewConv returns a conv layer with Xavier-initialized weights.
@@ -56,7 +57,7 @@ func (l *Conv) OutShape(in Shape) (Shape, error) {
 func (l *Conv) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := h-l.KH+1, w-l.KW+1
-	out := tensor.New(l.F, oh, ow)
+	out := scratch(&l.outBuf, l.F, oh, ow)
 	l.inCache = x
 	xd, wd, od := x.Data(), l.W.Data(), out.Data()
 	for f := 0; f < l.F; f++ {
@@ -90,7 +91,7 @@ func (l *Conv) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	x := l.inCache
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := dy.Dim(1), dy.Dim(2)
-	dx := tensor.New(c, h, w)
+	dx := scratchZero(&l.dxBuf, c, h, w)
 	xd, wd, dyd := x.Data(), l.W.Data(), dy.Data()
 	dwd, dxd := l.dW.Data(), dx.Data()
 	for f := 0; f < l.F; f++ {

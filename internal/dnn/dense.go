@@ -14,8 +14,9 @@ type Dense struct {
 	W       *tensor.Tensor // (Out, In)
 	B       *tensor.Tensor // (Out)
 
-	dW, dB  *tensor.Tensor
-	inCache *tensor.Tensor
+	dW, dB        *tensor.Tensor
+	inCache       *tensor.Tensor
+	outBuf, dxBuf *tensor.Tensor
 }
 
 // NewDense returns a fully-connected layer with Xavier-initialized weights.
@@ -43,7 +44,7 @@ func (l *Dense) OutShape(in Shape) (Shape, error) {
 func (l *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.inCache = x
 	xd := x.Data()
-	out := tensor.New(1, 1, l.Out)
+	out := scratch(&l.outBuf, 1, 1, l.Out)
 	od := out.Data()
 	wd := l.W.Data()
 	for o := 0; o < l.Out; o++ {
@@ -60,7 +61,7 @@ func (l *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (l *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	xd := l.inCache.Data()
 	dyd := dy.Data()
-	dx := tensor.New(l.inCache.Dim(0), l.inCache.Dim(1), l.inCache.Dim(2))
+	dx := scratchZero(&l.dxBuf, l.inCache.Dim(0), l.inCache.Dim(1), l.inCache.Dim(2))
 	dxd := dx.Data()
 	wd, dwd := l.W.Data(), l.dW.Data()
 	for o := 0; o < l.Out; o++ {
@@ -100,11 +101,12 @@ type SparseDense struct {
 	W       *tensor.CSR
 	B       *tensor.Tensor // (Out)
 
-	dVals   []float64 // gradient per retained weight
-	dB      *tensor.Tensor
-	inCache *tensor.Tensor
-	valsT   *tensor.Tensor // view over W.Vals for the optimizer
-	dValsT  *tensor.Tensor
+	dVals         []float64 // gradient per retained weight
+	dB            *tensor.Tensor
+	inCache       *tensor.Tensor
+	valsT         *tensor.Tensor // view over W.Vals for the optimizer
+	dValsT        *tensor.Tensor
+	outBuf, dxBuf *tensor.Tensor
 }
 
 // NewSparseDense prunes a Dense layer at the given magnitude threshold and
@@ -139,7 +141,7 @@ func (l *SparseDense) OutShape(in Shape) (Shape, error) {
 
 func (l *SparseDense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.inCache = x
-	out := tensor.New(1, 1, l.Out)
+	out := scratch(&l.outBuf, 1, 1, l.Out)
 	od := out.Data()
 	xd := x.Data()
 	for o := 0; o < l.Out; o++ {
@@ -155,7 +157,7 @@ func (l *SparseDense) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (l *SparseDense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	xd := l.inCache.Data()
 	dyd := dy.Data()
-	dx := tensor.New(l.inCache.Dim(0), l.inCache.Dim(1), l.inCache.Dim(2))
+	dx := scratchZero(&l.dxBuf, l.inCache.Dim(0), l.inCache.Dim(1), l.inCache.Dim(2))
 	dxd := dx.Data()
 	for o := 0; o < l.Out; o++ {
 		g := dyd[o]

@@ -54,6 +54,8 @@ type Layer interface {
 // ReLU is an elementwise rectifier.
 type ReLU struct {
 	mask []bool
+
+	outBuf, dxBuf *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -64,27 +66,32 @@ func (r *ReLU) Kind() string { return "relu" }
 func (r *ReLU) OutShape(in Shape) (Shape, error) { return in, nil }
 
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := x.Clone()
+	out := scratch(&r.outBuf, x.Shape()...)
 	if cap(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
 	r.mask = r.mask[:x.Len()]
-	for i, v := range out.Data() {
+	od := out.Data()
+	for i, v := range x.Data() {
 		if v > 0 {
 			r.mask[i] = true
+			od[i] = v
 		} else {
 			r.mask[i] = false
-			out.Data()[i] = 0
+			od[i] = 0
 		}
 	}
 	return out
 }
 
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := dy.Clone()
-	for i := range dx.Data() {
-		if !r.mask[i] {
-			dx.Data()[i] = 0
+	dx := scratch(&r.dxBuf, dy.Shape()...)
+	dxd := dx.Data()
+	for i, v := range dy.Data() {
+		if r.mask[i] {
+			dxd[i] = v
+		} else {
+			dxd[i] = 0
 		}
 	}
 	return dx
@@ -99,8 +106,9 @@ func (r *ReLU) ParamCount() int          { return 0 }
 type MaxPool struct {
 	Window int
 
-	inShape Shape
-	argmax  []int
+	inShape       Shape
+	argmax        []int
+	outBuf, dxBuf *tensor.Tensor
 }
 
 // NewMaxPool returns a max-pooling layer with the given window size
@@ -119,7 +127,7 @@ func (p *MaxPool) OutShape(in Shape) (Shape, error) {
 func (p *MaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := h/p.Window, w/p.Window
-	out := tensor.New(c, oh, ow)
+	out := scratch(&p.outBuf, c, oh, ow)
 	p.inShape = Shape{c, h, w}
 	if cap(p.argmax) < out.Len() {
 		p.argmax = make([]int, out.Len())
@@ -150,9 +158,10 @@ func (p *MaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 func (p *MaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape[0], p.inShape[1], p.inShape[2])
+	dx := scratchZero(&p.dxBuf, p.inShape[0], p.inShape[1], p.inShape[2])
+	dxd := dx.Data()
 	for i, src := range p.argmax {
-		dx.Data()[src] += dy.Data()[i]
+		dxd[src] += dy.Data()[i]
 	}
 	return dx
 }

@@ -14,6 +14,8 @@ type Network struct {
 	Name   string
 	In     Shape
 	Layers []Layer
+
+	inBuf *tensor.Tensor
 }
 
 // NewNetwork returns an empty network for the given input volume.
@@ -50,12 +52,23 @@ func (n *Network) NumClasses() int {
 	return s.Len()
 }
 
-// Forward runs one sample through the network and returns the logits.
+// Forward runs one sample through the network and returns the logits. The
+// returned slice is a copy and stays valid across later calls; the
+// allocation-free internal path is forward().
 func (n *Network) Forward(x []float64) []float64 {
+	return append([]float64(nil), n.forward(x)...)
+}
+
+// forward runs one sample through the network and returns the logits as a
+// view into the final layer's scratch buffer — valid only until the next
+// forward pass. Hot loops (training, Infer) use this to stay
+// allocation-free per sample.
+func (n *Network) forward(x []float64) []float64 {
 	if len(x) != n.In.Len() {
 		panic(fmt.Sprintf("dnn: input length %d != %v", len(x), n.In))
 	}
-	t := tensor.FromSlice(append([]float64(nil), x...), n.In[0], n.In[1], n.In[2])
+	t := scratch(&n.inBuf, n.In[0], n.In[1], n.In[2])
+	copy(t.Data(), x)
 	for _, l := range n.Layers {
 		t = l.Forward(t)
 	}
@@ -64,7 +77,7 @@ func (n *Network) Forward(x []float64) []float64 {
 
 // Infer returns the argmax class for one sample.
 func (n *Network) Infer(x []float64) int {
-	logits := n.Forward(x)
+	logits := n.forward(x)
 	best, bi := logits[0], 0
 	for i, v := range logits {
 		if v > best {

@@ -4,10 +4,19 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/tensor"
 )
+
+// epochsRun counts completed training epochs process-wide. It exists so the
+// warm-cache path can prove it performed zero training (see cmd/bench and
+// the CI warm-cache step).
+var epochsRun atomic.Int64
+
+// EpochsRun returns the number of training epochs completed by this process.
+func EpochsRun() int64 { return epochsRun.Load() }
 
 // SGD is a stochastic-gradient-descent optimizer with classical momentum.
 type SGD struct {
@@ -113,6 +122,7 @@ func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig) float64 {
 	}
 	classes := n.NumClasses()
 	grad := make([]float64, classes)
+	dyBuf := tensor.New(1, 1, classes)
 	lastLoss := math.NaN()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
@@ -123,15 +133,17 @@ func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig) float64 {
 		total := 0.0
 		for _, idx := range samples {
 			ex := ds.Train[idx]
-			logits := n.Forward(ex.X)
+			logits := n.forward(ex.X)
 			total += SoftmaxCrossEntropy(logits, ex.Label, grad)
-			dy := tensor.FromSlice(append([]float64(nil), grad...), 1, 1, classes)
+			copy(dyBuf.Data(), grad)
+			dy := dyBuf
 			for li := len(n.Layers) - 1; li >= 0; li-- {
 				dy = n.Layers[li].Backward(dy)
 			}
 			opt.Step(n)
 		}
 		lastLoss = total / float64(len(samples))
+		epochsRun.Add(1)
 		opt.EndEpoch()
 		if cfg.Verbose {
 			fmt.Printf("  epoch %d: loss %.4f\n", epoch, lastLoss)
@@ -140,30 +152,17 @@ func Train(n *Network, ds *dataset.Dataset, cfg TrainConfig) float64 {
 	return lastLoss
 }
 
-// Evaluate returns top-1 accuracy on the given examples.
+// Evaluate returns top-1 accuracy on the given examples, sharding the work
+// across an automatically sized worker pool (see EvaluateWorkers).
 func Evaluate(n *Network, examples []dataset.Example) float64 {
-	if len(examples) == 0 {
-		return 0
-	}
-	correct := 0
-	for _, ex := range examples {
-		if n.Infer(ex.X) == ex.Label {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(examples))
+	return EvaluateWorkers(n, examples, 0)
 }
 
-// Confusion returns the confusion matrix m[true][predicted] over examples.
+// Confusion returns the confusion matrix m[true][predicted] over examples,
+// sharding the work across an automatically sized worker pool (see
+// ConfusionWorkers).
 func Confusion(n *Network, examples []dataset.Example, classes int) [][]int {
-	m := make([][]int, classes)
-	for i := range m {
-		m[i] = make([]int, classes)
-	}
-	for _, ex := range examples {
-		m[ex.Label][n.Infer(ex.X)]++
-	}
-	return m
+	return ConfusionWorkers(n, examples, classes, 0)
 }
 
 // BinaryRates treats `interesting` as the positive class and returns the

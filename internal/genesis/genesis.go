@@ -13,8 +13,11 @@
 package genesis
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/compress"
 	"repro/internal/core"
@@ -71,6 +74,13 @@ type Result struct {
 	EInferJ    float64 // measured energy per inference (Joules)
 	IMpJ       float64
 	Model      *dnn.QuantModel // nil if quantization/deployment failed
+
+	// Err records why evaluation failed ("apply: ...", "quantize: ...",
+	// "deploy: ...", "infer: ..."); empty for a fully evaluated config. A
+	// string rather than an error so Result survives gob round-trips
+	// through the report cache. Errored results are never feasible and are
+	// excluded from per-technique frontiers.
+	Err string
 }
 
 // Options configures a GENESIS run.
@@ -104,6 +114,14 @@ type Options struct {
 
 	PruneLevels []float64
 	RankFracs   []float64
+
+	// Workers bounds the per-config fan-out of Run (0 = GOMAXPROCS).
+	// ForceSerial pins the entire run to a single goroutine with serial
+	// per-example evaluation; it exists so tests can prove the parallel
+	// path bit-identical to the serial one. Neither knob affects results,
+	// and both are excluded from the report-cache OptionsHash.
+	Workers     int
+	ForceSerial bool
 }
 
 // DefaultOptions returns a sweep sized for the synthetic datasets.
@@ -160,9 +178,45 @@ func Run(opts Options) (*Report, error) {
 	dnn.Train(base, ds, cfg)
 
 	report := &Report{Options: opts, Dataset: ds.String(), Chosen: -1}
-	for _, c := range opts.Configs() {
-		res := evaluate(base, ds, c, opts)
-		report.Results = append(report.Results, res)
+	configs := opts.Configs()
+	report.Results = make([]Result, len(configs))
+	if opts.ForceSerial {
+		for i, c := range configs {
+			report.Results[i] = evaluateClone(base.Clone(), ds, c, opts, 1)
+		}
+	} else {
+		// Each worker evaluates on a private decode of the trained base
+		// (Clone is itself an Encode/Decode round-trip, so a decoded copy
+		// is exactly what the serial path's Clone produces). Results land
+		// at their config's index, and every per-example reduction is an
+		// order-independent integer count, so the report is bit-identical
+		// to the ForceSerial path — see TestGenesisParallelDeterministic.
+		var raw bytes.Buffer
+		if err := base.Encode(&raw); err != nil {
+			return nil, err
+		}
+		blob := raw.Bytes()
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, c := range configs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, c Config) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				n, err := dnn.Decode(bytes.NewReader(blob))
+				if err != nil {
+					report.Results[i] = Result{Config: c, Err: fmt.Sprintf("clone: %v", err)}
+					return
+				}
+				report.Results[i] = evaluateClone(n, ds, c, opts, 0)
+			}(i, c)
+		}
+		wg.Wait()
 	}
 	best := -1.0
 	for i := range report.Results {
@@ -193,12 +247,13 @@ func (o Options) Configs() []Config {
 	return out
 }
 
-// evaluate applies a configuration to a copy of the trained base network,
-// fine-tunes, quantizes, measures, and scores it.
-func evaluate(base *dnn.Network, ds *dataset.Dataset, c Config, opts Options) Result {
-	n := base.Clone()
+// evaluateClone applies a configuration to an already-private copy of the
+// trained base network (the caller hands over ownership), fine-tunes,
+// quantizes, measures, and scores it. evalWorkers is passed through to the
+// sharded accuracy/confusion passes (1 = fully serial, 0 = auto).
+func evaluateClone(n *dnn.Network, ds *dataset.Dataset, c Config, opts Options, evalWorkers int) Result {
 	if err := Apply(n, c); err != nil {
-		return Result{Config: c}
+		return Result{Config: c, Err: fmt.Sprintf("apply: %v", err)}
 	}
 	if opts.FineTuneEpochs > 0 && c.Technique != TechNone {
 		ft := dnn.DefaultTrainConfig()
@@ -208,7 +263,7 @@ func evaluate(base *dnn.Network, ds *dataset.Dataset, c Config, opts Options) Re
 		ft.MaxSamplesPerEpoch = opts.MaxSamplesPerEpoch
 		dnn.Train(n, ds, ft)
 	}
-	res := evaluateNetwork(n, ds, opts)
+	res := evaluateNetwork(n, ds, opts, evalWorkers)
 	res.Config = c
 	return res
 }
@@ -216,10 +271,10 @@ func evaluate(base *dnn.Network, ds *dataset.Dataset, c Config, opts Options) Re
 // evaluateNetwork quantizes a compressed network, checks feasibility,
 // measures its inference energy on the device model, and scores it with
 // the IMpJ application model.
-func evaluateNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options) Result {
+func evaluateNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options, evalWorkers int) Result {
 	var res Result
-	res.Accuracy = dnn.Evaluate(n, ds.Test)
-	conf := dnn.Confusion(n, ds.Test, ds.NumClasses)
+	res.Accuracy = dnn.EvaluateWorkers(n, ds.Test, evalWorkers)
+	conf := dnn.ConfusionWorkers(n, ds.Test, ds.NumClasses, evalWorkers)
 	res.TP, res.TN = dnn.BinaryRates(conf, opts.Interesting)
 	res.MACs = n.MACs()
 
@@ -229,13 +284,15 @@ func evaluateNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options) Result {
 	}
 	qm, err := dnn.Quantize(n, calib)
 	if err != nil {
+		res.Err = fmt.Sprintf("quantize: %v", err)
 		return res
 	}
 	res.Model = qm
 	res.ParamBytes = qm.WeightWords() * 2
 	res.Feasible = res.ParamBytes <= opts.FRAMBudgetBytes
 
-	// Measure inference energy on the device model.
+	// Measure inference energy on the device model. Each call builds its
+	// own mcu.Device, so concurrent workers never share device state.
 	rt := opts.MeasureRuntime
 	if rt == nil {
 		rt = tails.TAILS{}
@@ -244,11 +301,13 @@ func evaluateNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options) Result {
 	img, err := core.Deploy(dev, qm)
 	if err != nil {
 		res.Feasible = false
+		res.Err = fmt.Sprintf("deploy: %v", err)
 		return res
 	}
 	defer img.Release()
 	if _, err := rt.Infer(img, qm.QuantizeInput(ds.Test[0].X)); err != nil {
 		res.Feasible = false
+		res.Err = fmt.Sprintf("infer: %v", err)
 		return res
 	}
 	res.EInferJ = dev.Stats().EnergyNJ() * 1e-9
@@ -386,9 +445,14 @@ func ParetoFront(results []Result, candidates []int) []int {
 
 // ByTechnique returns result indices whose technique is in the given set
 // (TechNone is always included, as in the paper's per-technique frontiers).
+// Results that failed to evaluate (Err != "") are excluded: their zero MACs
+// and accuracy would otherwise fabricate a frontier point.
 func ByTechnique(results []Result, techs ...Technique) []int {
 	var out []int
 	for i := range results {
+		if results[i].Err != "" {
+			continue
+		}
 		t := results[i].Config.Technique
 		if t == TechNone {
 			out = append(out, i)

@@ -198,5 +198,5 @@ func fineTune(n *dnn.Network, ds *dataset.Dataset, opts Options) {
 // scoreNetwork quantizes, measures, and scores a network exactly like the
 // grid sweep does.
 func scoreNetwork(n *dnn.Network, ds *dataset.Dataset, opts Options) Result {
-	return evaluateNetwork(n, ds, opts)
+	return evaluateNetwork(n, ds, opts, 0)
 }

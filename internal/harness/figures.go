@@ -80,6 +80,12 @@ func Table2(prepared []*Prepared) *Table {
 		if p.Report == nil {
 			continue
 		}
+		if n := erroredConfigs(p.Report.Results); n > 0 {
+			if t.Note != "" {
+				t.Note += "\n"
+			}
+			t.Note += fmt.Sprintf("%s: %d configuration(s) failed to evaluate (see Fig 4 for details)", p.Net, n)
+		}
 		chosen := p.Report.ChosenResult()
 		uncompressed := p.Report.Results[0]
 		ratio := float64(uncompressed.ParamBytes) / float64(chosen.ParamBytes)
@@ -113,6 +119,17 @@ func Table2(prepared []*Prepared) *Table {
 	return t
 }
 
+// erroredConfigs counts sweep results that failed to evaluate.
+func erroredConfigs(results []genesis.Result) int {
+	n := 0
+	for i := range results {
+		if results[i].Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
 // Fig4 renders the accuracy-versus-MACs exploration for one network,
 // marking feasibility and Pareto-front membership per technique family.
 func Fig4(p *Prepared) *Table {
@@ -134,6 +151,13 @@ func Fig4(p *Prepared) *Table {
 	}
 	for i := range res {
 		r := &res[i]
+		if r.Err != "" {
+			// Failed configs would otherwise render as fake 0-MAC,
+			// 0-accuracy rows; show the failure instead.
+			t.AddRow(r.Config.Name(), string(r.Config.Technique), "-", "-",
+				"error", r.Err)
+			continue
+		}
 		mark := ""
 		for name, front := range fronts {
 			if inFront(front, i) {
@@ -156,6 +180,10 @@ func Fig5(p *Prepared) *Table {
 		Header: []string{"config", "Einfer-mJ", "tp", "tn", "IMpJ", "feasible", "chosen"}}
 	for i := range p.Report.Results {
 		r := &p.Report.Results[i]
+		if r.Err != "" {
+			t.AddRow(r.Config.Name(), "-", "-", "-", "-", "error", r.Err)
+			continue
+		}
 		chosen := ""
 		if i == p.Report.Chosen {
 			chosen = "<== chosen"

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/dnn"
 	"repro/internal/genesis"
@@ -17,6 +18,9 @@ type Prepared struct {
 	Model  *dnn.QuantModel
 	Input  []float64 // one representative test sample
 	Label  int
+	// CacheHit is true when the report came from the content-addressed
+	// report cache, i.e. this Prepare ran zero training epochs.
+	CacheHit bool
 }
 
 // Networks lists the three evaluation networks in paper order.
@@ -26,13 +30,22 @@ func Networks() []string { return []string{"mnist", "har", "okg"} }
 type PrepareOptions struct {
 	Seed     uint64
 	Quick    bool   // small training budgets for tests
-	CacheDir string // if set, chosen models are cached as gob files
+	CacheDir string // if set, reports and chosen models are cached here
+
+	// ForceSerial pins preparation to a single goroutine end to end
+	// (networks, configs, and per-example evaluation); Workers bounds the
+	// per-config fan-out inside each sweep (0 = GOMAXPROCS). Neither
+	// affects results — see TestGenesisParallelDeterministic.
+	ForceSerial bool
+	Workers     int
 }
 
 // genesisOptions builds the sweep options for a network.
 func genesisOptions(net string, po PrepareOptions) genesis.Options {
 	o := genesis.DefaultOptions(net)
 	o.Seed = po.Seed
+	o.ForceSerial = po.ForceSerial
+	o.Workers = po.Workers
 	if po.Quick {
 		o.TrainSamples, o.TestSamples = 360, 90
 		o.Epochs, o.FineTuneEpochs = 2, 1
@@ -43,13 +56,29 @@ func genesisOptions(net string, po PrepareOptions) genesis.Options {
 	return o
 }
 
-// Prepare runs GENESIS for one network (or loads the cached result) and
-// returns the chosen deployable model.
+// Prepare runs GENESIS for one network — or loads the report from the
+// content-addressed cache, skipping training entirely — and returns the
+// chosen deployable model.
 func Prepare(net string, po PrepareOptions) (*Prepared, error) {
 	opts := genesisOptions(net, po)
-	rep, err := genesis.Run(opts)
-	if err != nil {
-		return nil, err
+	var rep *genesis.Report
+	cacheHit := false
+	if po.CacheDir != "" {
+		if r := loadReportCache(po.CacheDir, opts); r != nil {
+			rep, cacheHit = r, true
+		}
+	}
+	if rep == nil {
+		var err error
+		rep, err = genesis.Run(opts)
+		if err != nil {
+			return nil, err
+		}
+		if po.CacheDir != "" {
+			if err := saveReportCache(po.CacheDir, opts, rep); err != nil {
+				return nil, fmt.Errorf("harness: caching %s report: %w", net, err)
+			}
+		}
 	}
 	chosen := rep.ChosenResult()
 	if chosen == nil || chosen.Model == nil {
@@ -60,22 +89,45 @@ func Prepare(net string, po PrepareOptions) (*Prepared, error) {
 		return nil, err
 	}
 	p := &Prepared{Net: net, Report: rep, Model: chosen.Model,
-		Input: ds.Test[0].X, Label: ds.Test[0].Label}
+		Input: ds.Test[0].X, Label: ds.Test[0].Label, CacheHit: cacheHit}
 	if po.CacheDir != "" {
-		_ = chosen.Model.SaveFile(cachePath(po.CacheDir, net))
+		if err := chosen.Model.SaveFile(cachePath(po.CacheDir, net)); err != nil {
+			return nil, fmt.Errorf("harness: caching %s model: %w", net, err)
+		}
 	}
 	return p, nil
 }
 
-// PrepareAll prepares every evaluation network.
+// PrepareAll prepares every evaluation network, fanning the three sweeps
+// out across goroutines (each sweep further parallelizes over its configs).
+// Results are returned in Networks() order regardless of completion order.
 func PrepareAll(po PrepareOptions) ([]*Prepared, error) {
-	var out []*Prepared
-	for _, net := range Networks() {
-		p, err := Prepare(net, po)
-		if err != nil {
-			return nil, err
+	nets := Networks()
+	out := make([]*Prepared, len(nets))
+	if po.ForceSerial {
+		for i, net := range nets {
+			p, err := Prepare(net, po)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
 		}
-		out = append(out, p)
+		return out, nil
+	}
+	errs := make([]error, len(nets))
+	var wg sync.WaitGroup
+	for i, net := range nets {
+		wg.Add(1)
+		go func(i int, net string) {
+			defer wg.Done()
+			out[i], errs[i] = Prepare(net, po)
+		}(i, net)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: preparing %s: %w", nets[i], err)
+		}
 	}
 	return out, nil
 }
