@@ -1,17 +1,19 @@
 // Command bench measures the simulator's wall-clock performance on the
 // workloads that dominate development time — the Fig. 9 measurement
-// matrix (72 cells: three networks × six runtimes × four power systems)
-// and the intermittence-correctness fuzz campaign — and records them as
-// JSON, seeding the repository's performance trajectory. Each perf PR
-// appends its before/after to the tracked BENCH_PR<n>.json files.
+// matrix (72 cells: three networks × six runtimes × four power systems),
+// the intermittence-correctness fuzz campaign, and the fleet campaign
+// engine's device throughput — and records them as JSON, seeding the
+// repository's performance trajectory. Each perf PR appends its
+// before/after to the tracked BENCH_PR<n>.json files.
 //
 // Usage:
 //
-//	bench                      # measure and write BENCH_PR5.json
+//	bench                      # measure and write BENCH_PR6.json
 //	bench -count 5 -out /tmp/b.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +24,8 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/intermittest"
 	"repro/internal/prof"
@@ -84,13 +88,34 @@ type report struct {
 		PR3NsPerOp    int64   `json:"pr3_ns_per_op"`
 		Iterations    int     `json:"iterations"`
 	} `json:"intermittest_campaign"`
+
+	// Fleet is the campaign engine's device throughput: one mixed-runtime,
+	// mixed-power tiny-model fleet swept at 1, 4, and GOMAXPROCS workers.
+	// Deterministic records that every worker count produced bit-identical
+	// aggregates. ScalingAt4 (measured only when GOMAXPROCS >= 4) is the
+	// fraction of linear speedup at 4 workers; on a 1-CPU runner extra
+	// workers just take turns, so it is ~1/4 by construction and unscored.
+	Fleet struct {
+		GOMAXPROCS    int          `json:"gomaxprocs"`
+		Devices       int          `json:"devices"`
+		Iterations    int          `json:"iterations"`
+		Workers       []fleetPoint `json:"workers"`
+		ScalingAt4    float64      `json:"scaling_at_4,omitempty"`
+		Deterministic bool         `json:"deterministic"`
+	} `json:"fleet"`
+}
+
+type fleetPoint struct {
+	Workers       int     `json:"workers"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	DevicesPerSec float64 `json:"devices_per_sec"`
 }
 
 var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR5.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR6.json", "output JSON path")
 		count = flag.Int("count", 3, "timed iterations per workload")
 		seed  = flag.Uint64("seed", 1, "model seed")
 	)
@@ -238,6 +263,70 @@ func main() {
 		}
 	}
 
+	// Fleet engine throughput: the same campaign shape the fleet tests
+	// sweep, timed at each worker count with a determinism cross-check
+	// (summaries must be byte-identical across worker counts).
+	const fleetDevices = 5000
+	fleetModels := map[string]fleet.Model{
+		"tiny": {Net: "tiny", QM: qm, Input: qm.QuantizeInput(x)}}
+	fleetSpec := fleet.Spec{
+		Devices:  fleetDevices,
+		Seed:     *seed,
+		Models:   []string{"tiny"},
+		Runtimes: []string{"base", "tile-32", "sonic", "tails"},
+		Powers: []fleet.PowerClass{
+			{Name: "rf-100uF", SystemSpec: energy.SystemSpec{Kind: "const", CapFarads: 100e-6}},
+			{Name: "stoch-100uF", SystemSpec: energy.SystemSpec{Kind: "stoch", CapFarads: 100e-6}},
+			{Name: "cont", SystemSpec: energy.SystemSpec{Kind: "cont"}},
+		},
+	}
+	rep.Fleet.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Fleet.Devices = fleetDevices
+	rep.Fleet.Iterations = *count
+	rep.Fleet.Deterministic = true
+	workerCounts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	var baselineSummary []byte
+	perWorkerNs := make(map[int]int64)
+	for _, w := range workerCounts {
+		fmt.Fprintf(os.Stderr, "bench: fleet campaign (%d devices, %d workers) × %d...\n",
+			fleetDevices, w, *count)
+		start = time.Now()
+		var res *fleet.Result
+		for i := 0; i < *count; i++ {
+			var err error
+			if res, err = fleet.Run(context.Background(), fleetSpec, fleetModels, w); err != nil {
+				fail(err)
+			}
+		}
+		ns := time.Since(start).Nanoseconds() / int64(*count)
+		perWorkerNs[w] = ns
+		rep.Fleet.Workers = append(rep.Fleet.Workers, fleetPoint{
+			Workers: w, NsPerOp: ns,
+			DevicesPerSec: float64(fleetDevices) / (float64(ns) / 1e9),
+		})
+		sum, err := json.Marshal(res.Agg.Summary())
+		if err != nil {
+			fail(err)
+		}
+		if baselineSummary == nil {
+			baselineSummary = sum
+		} else if string(sum) != string(baselineSummary) {
+			fail(fmt.Errorf("fleet aggregates at %d workers differ from the 1-worker baseline", w))
+		}
+	}
+	// Scaling is only meaningful with real parallel hardware: on >=4 CPUs,
+	// 4 workers must deliver at least half of linear speedup over 1.
+	if runtime.GOMAXPROCS(0) >= 4 {
+		rep.Fleet.ScalingAt4 = float64(perWorkerNs[1]) / float64(perWorkerNs[4]) / 4
+		if rep.Fleet.ScalingAt4 < 0.5 {
+			fail(fmt.Errorf("fleet scaling at 4 workers is %.2fx of linear, want >= 0.5x",
+				rep.Fleet.ScalingAt4))
+		}
+	}
+
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fail(err)
@@ -251,11 +340,17 @@ func main() {
 		float64(rep.Prepare.ParallelNsPerOp)/1e9, rep.Prepare.ParallelSpeedup,
 		rep.Prepare.GOMAXPROCS,
 		float64(rep.Prepare.WarmNsPerOp)/1e9, rep.Prepare.WarmSpeedup)
-	fmt.Printf("fig9: %.3fs/op (%.2fx over pre-bulk %.3fs)  campaign: %.3fs/op (%.2fx over from-scratch %.3fs)  -> %s\n",
+	fmt.Printf("fig9: %.3fs/op (%.2fx over pre-bulk %.3fs)  campaign: %.3fs/op (%.2fx over from-scratch %.3fs)\n",
 		float64(rep.Fig9.AfterNsPerOp)/1e9, rep.Fig9.Speedup,
 		float64(preBulkFig9NsPerOp)/1e9,
 		float64(rep.Campaign.AfterNsPerOp)/1e9, rep.Campaign.Speedup,
-		float64(rep.Campaign.BeforeNsPerOp)/1e9, *out)
+		float64(rep.Campaign.BeforeNsPerOp)/1e9)
+	for _, p := range rep.Fleet.Workers {
+		fmt.Printf("fleet: %d devices @ %d workers: %.0f devices/sec\n",
+			rep.Fleet.Devices, p.Workers, p.DevicesPerSec)
+	}
+	fmt.Printf("fleet: deterministic across worker counts: %v  -> %s\n",
+		rep.Fleet.Deterministic, *out)
 }
 
 func fail(err error) {

@@ -1,0 +1,99 @@
+// Command serve exposes the fleet campaign engine as an HTTP/JSON
+// service: POST a fleet spec to /jobs, poll /jobs/{id} for progress and
+// streamed aggregates, DELETE to cancel, /healthz for liveness. Identical
+// specs are deduplicated by content address and answered from the
+// original job without re-simulation; prepared models are shared across
+// jobs. SIGINT/SIGTERM triggers a graceful drain: in-flight campaigns get
+// the drain timeout to finish before being cancelled.
+//
+// Usage:
+//
+//	serve -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/jobs -d @spec.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+func main() {
+	err := run(context.Background(), os.Args[1:], os.Stderr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable main: it serves until ctx is cancelled or a
+// SIGINT/SIGTERM arrives, then drains. If ready is non-nil it receives
+// the bound address once the listener is up.
+func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "simulation workers per campaign (0 = GOMAXPROCS)")
+		maxDev  = fs.Int("max-devices", serve.DefaultMaxDevices, "largest accepted fleet")
+		seed    = fs.Uint64("seed", 1, "model preparation seed")
+		quick   = fs.Bool("quick", false, "quick-mode GENESIS budgets for model preparation")
+		cache   = fs.String("cache", "", "model/report cache directory (empty = no cache)")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful-drain timeout on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	models := serve.NewModelCache(harness.PrepareOptions{
+		Seed: *seed, Quick: *quick, CacheDir: *cache})
+	srv := serve.New(models, serve.Options{Workers: *workers, MaxDevices: *maxDev})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stderr, "serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-httpErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stderr, "serve: draining (timeout %s)...\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then let queued/running jobs finish.
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "serve: drain deadline expired, in-flight jobs cancelled\n")
+		return nil
+	}
+	fmt.Fprintf(stderr, "serve: drained cleanly\n")
+	return nil
+}

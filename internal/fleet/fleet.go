@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/mcu"
+	"repro/internal/trace"
+)
+
+// DeviceStats is the per-device metric record a simulation extracts. It
+// is consumed immediately by the shard aggregates and never retained, so
+// fleet memory stays independent of fleet size.
+type DeviceStats struct {
+	Completed bool
+	// IMpJ is inferences per millijoule of consumed energy — the fleet
+	// form of the paper's energy-efficiency axis (zero for devices whose
+	// runtime does not complete on their power system).
+	IMpJ float64
+	// FirstInferSec is the latency from first boot to the first completed
+	// inference: live execution plus every recharge wait the run actually
+	// incurred.
+	FirstInferSec float64
+	Reboots       int
+	EnergyPJ      int64
+	WastedNJ      float64
+}
+
+// simulate runs one device instance to its first inference and extracts
+// its stats. The trace buffer is caller-owned worker scratch (reset here)
+// so a long campaign allocates no per-device analysis state.
+func simulate(ds DeviceSpec, m Model, rt core.Runtime, buf *trace.Buffer) (DeviceStats, error) {
+	power, err := ds.Power.New(ds.HarvestSeed)
+	if err != nil {
+		return DeviceStats{}, err
+	}
+	dev := mcu.New(power)
+	buf.Reset()
+	dev.SetTracer(buf)
+	img, err := core.Deploy(dev, m.QM)
+	if err != nil {
+		return DeviceStats{}, fmt.Errorf("fleet: deploy %s on device %d: %w", m.Net, ds.Index, err)
+	}
+	_, ierr := rt.Infer(img, m.Input)
+	dev.FlushTrace()
+	st := dev.Stats()
+	an := buf.Analysis()
+	out := DeviceStats{
+		Reboots:  st.Reboots,
+		EnergyPJ: st.EnergyPJ,
+		WastedNJ: an.TotalWastedEnergyNJ,
+	}
+	if ierr != nil {
+		if errors.Is(ierr, mcu.ErrDoesNotComplete) {
+			return out, nil // a DNC device is a data point, not a failure
+		}
+		return out, fmt.Errorf("fleet: device %d (%s/%s/%s): %w", ds.Index, m.Net, ds.Runtime, ds.Power.Name, ierr)
+	}
+	out.Completed = true
+	out.FirstInferSec = st.TotalSeconds(dev.Cost.ClockHz)
+	if mj := st.EnergyMJ(); mj > 0 {
+		out.IMpJ = 1 / mj
+	}
+	return out, nil
+}
+
+// Aggregates is the mergeable accumulator of fleet-wide statistics. All
+// integer fields merge by addition; the sketches and histograms merge by
+// their own order-independent (histograms) or fixed-order (sketches)
+// rules. Its memory is O(sketch compression + histogram bins), fixed for
+// the life of a campaign.
+type Aggregates struct {
+	Devices   int64
+	Completed int64
+	DNC       int64 // devices whose runtime cannot finish on their power
+	Reboots   int64
+	EnergyPJ  int64   // total consumed, integer picojoules (order-free sum)
+	WastedNJ  float64 // total re-executed energy across the fleet
+
+	IMpJ       *Sketch // inferences per millijoule, completed devices
+	FirstSec   *Sketch // latency to first inference, completed devices
+	RebootHist *Hist   // reboots per device (bin i = exactly i, last = more)
+	WastedHist *Hist   // wasted nJ per device, log bins
+}
+
+// Histogram shapes: reboot counts resolve exactly up to rebootHistMax,
+// wasted energy spans sub-nJ to tens of J at 4 bins per decade.
+const rebootHistMax = 64
+
+func newAggregates() *Aggregates {
+	return &Aggregates{
+		IMpJ:       NewSketch(0),
+		FirstSec:   NewSketch(0),
+		RebootHist: NewLinearHist(rebootHistMax),
+		WastedHist: NewLogHist(1, 10, 4),
+	}
+}
+
+// observe folds one device's stats in.
+func (a *Aggregates) observe(st DeviceStats) {
+	a.Devices++
+	a.Reboots += int64(st.Reboots)
+	a.EnergyPJ += st.EnergyPJ
+	a.WastedNJ += st.WastedNJ
+	a.RebootHist.Add(float64(st.Reboots))
+	a.WastedHist.Add(st.WastedNJ)
+	if st.Completed {
+		a.Completed++
+		a.IMpJ.Add(st.IMpJ)
+		a.FirstSec.Add(st.FirstInferSec)
+	} else {
+		a.DNC++
+	}
+}
+
+// merge folds o into a without modifying o, so live shard aggregates can
+// be merged into snapshot accumulators mid-run.
+func (a *Aggregates) merge(o *Aggregates) error {
+	a.Devices += o.Devices
+	a.Completed += o.Completed
+	a.DNC += o.DNC
+	a.Reboots += o.Reboots
+	a.EnergyPJ += o.EnergyPJ
+	a.WastedNJ += o.WastedNJ
+	a.IMpJ.Merge(o.IMpJ)
+	a.FirstSec.Merge(o.FirstSec)
+	if err := a.RebootHist.Merge(o.RebootHist); err != nil {
+		return err
+	}
+	return a.WastedHist.Merge(o.WastedHist)
+}
+
+// Quantiles is a fixed percentile readout of one sketch.
+type Quantiles struct {
+	Min float64 `json:"min"`
+	P10 float64 `json:"p10"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func quantilesOf(s *Sketch) Quantiles {
+	if s.Count() == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Min: s.Min(),
+		P10: s.Quantile(0.10),
+		P50: s.Quantile(0.50),
+		P90: s.Quantile(0.90),
+		P99: s.Quantile(0.99),
+		Max: s.Max(),
+	}
+}
+
+// Summary is the JSON-ready aggregate view the serving API streams.
+type Summary struct {
+	Devices      int64     `json:"devices"`
+	Completed    int64     `json:"completed"`
+	DNC          int64     `json:"dnc"`
+	Reboots      int64     `json:"reboots"`
+	EnergyJ      float64   `json:"energy_j"`
+	WastedJ      float64   `json:"wasted_j"`
+	IMpJ         Quantiles `json:"impj"`
+	FirstInferS  Quantiles `json:"first_infer_s"`
+	RebootHist   []Bucket  `json:"reboot_hist"`
+	WastedNJHist []Bucket  `json:"wasted_nj_hist"`
+}
+
+// Summary materializes the aggregate readout.
+func (a *Aggregates) Summary() Summary {
+	return Summary{
+		Devices:      a.Devices,
+		Completed:    a.Completed,
+		DNC:          a.DNC,
+		Reboots:      a.Reboots,
+		EnergyJ:      float64(a.EnergyPJ) * 1e-12,
+		WastedJ:      a.WastedNJ * 1e-9,
+		IMpJ:         quantilesOf(a.IMpJ),
+		FirstInferS:  quantilesOf(a.FirstSec),
+		RebootHist:   a.RebootHist.Buckets(),
+		WastedNJHist: a.WastedHist.Buckets(),
+	}
+}
+
+// Result is a finished (or snapshotted) campaign's output.
+type Result struct {
+	Spec Spec
+	Done int
+	Agg  *Aggregates
+}
+
+// shard is one logical aggregation unit. Exactly one worker owns a shard
+// at a time during Run; the mutex exists so Snapshot can read live shards
+// concurrently with that worker.
+type shard struct {
+	mu  sync.Mutex
+	agg *Aggregates
+}
+
+// Campaign is an in-flight fleet sweep: construct with NewCampaign, drive
+// with Run, observe with Progress/Snapshot from any goroutine.
+type Campaign struct {
+	spec   Spec
+	models map[string]Model
+	rts    map[string]core.Runtime
+	shards []*shard
+	done   atomic.Int64
+}
+
+// NewCampaign validates the spec against the model registry and prepares
+// the shard aggregates.
+func NewCampaign(spec Spec, models map[string]Model) (*Campaign, error) {
+	if err := spec.Validate(models); err != nil {
+		return nil, err
+	}
+	c := &Campaign{spec: spec, models: models, rts: make(map[string]core.Runtime)}
+	for _, name := range spec.Runtimes {
+		rt, err := RuntimeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		c.rts[name] = rt
+	}
+	c.shards = make([]*shard, spec.shardCount())
+	for i := range c.shards {
+		c.shards[i] = &shard{agg: newAggregates()}
+	}
+	return c, nil
+}
+
+// Spec returns the campaign's spec.
+func (c *Campaign) Spec() Spec { return c.spec }
+
+// Progress reports devices simulated so far and the fleet size.
+func (c *Campaign) Progress() (done, total int) {
+	return int(c.done.Load()), c.spec.Devices
+}
+
+// Snapshot merges the current shard aggregates into a fresh Result — the
+// streamed mid-campaign view. Snapshotting never mutates shard state, so
+// it cannot perturb the final deterministic aggregates.
+func (c *Campaign) Snapshot() (*Result, error) {
+	agg := newAggregates()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		err := agg.merge(sh.agg)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Spec: c.spec, Done: int(c.done.Load()), Agg: agg}, nil
+}
+
+// Run sweeps the fleet across workers goroutines (GOMAXPROCS when <= 0).
+// Workers claim whole shards; shard s simulates devices s, s+S, s+2S, ...
+// in index order, so the aggregation sequence of every shard — and hence
+// the merged result — is identical under any worker count. Cancelling the
+// context stops the sweep and returns the context's error.
+func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.shards) {
+		workers = len(c.shards)
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Worker-local scratch: one analysis ring reused by every
+			// device this worker simulates.
+			buf := trace.NewAnalysisBuffer(256)
+			for {
+				s := int(next.Add(1) - 1)
+				if s >= len(c.shards) || errs[w] != nil {
+					return
+				}
+				errs[w] = c.runShard(ctx, s, buf)
+				if errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.Snapshot()
+}
+
+// runShard simulates every device of shard s in index order.
+func (c *Campaign) runShard(ctx context.Context, s int, buf *trace.Buffer) error {
+	sh := c.shards[s]
+	stride := len(c.shards)
+	for i := s; i < c.spec.Devices; i += stride {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ds := c.spec.Device(i)
+		st, err := simulate(ds, c.models[ds.Model], c.rts[ds.Runtime], buf)
+		if err != nil {
+			return err
+		}
+		sh.mu.Lock()
+		sh.agg.observe(st)
+		sh.mu.Unlock()
+		c.done.Add(1)
+	}
+	return nil
+}
+
+// Run is the one-shot form: build a campaign and sweep it.
+func Run(ctx context.Context, spec Spec, models map[string]Model, workers int) (*Result, error) {
+	c, err := NewCampaign(spec, models)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx, workers)
+}

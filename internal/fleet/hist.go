@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist is a fixed-bin histogram whose merge is plain element-wise integer
+// addition — exactly associative and commutative, so per-shard histograms
+// fold into fleet-wide ones in any grouping without changing a single
+// count. Bin i covers [edges[i], edges[i+1]); one underflow and one
+// overflow bin catch everything outside the edge range.
+type Hist struct {
+	edges  []float64
+	counts []int64 // len(edges)+1: [underflow, bins..., overflow]
+	total  int64
+}
+
+// NewHist builds a histogram over the given ascending bin edges.
+func NewHist(edges []float64) *Hist {
+	if len(edges) < 2 {
+		panic("fleet: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("fleet: histogram edges must ascend")
+		}
+	}
+	return &Hist{edges: edges, counts: make([]int64, len(edges)+1)}
+}
+
+// NewLinearHist builds unit-width integer bins [0,1), [1,2), ... [n-1,n) —
+// the right shape for small counts like per-device reboots, where bin i
+// means "exactly i".
+func NewLinearHist(n int) *Hist {
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = float64(i)
+	}
+	return NewHist(edges)
+}
+
+// NewLogHist builds logarithmic bins from lo spanning the given number of
+// decades at perDecade bins each — the right shape for quantities spread
+// over orders of magnitude, like per-device wasted energy or latency.
+func NewLogHist(lo float64, decades, perDecade int) *Hist {
+	if lo <= 0 {
+		panic("fleet: log histogram needs a positive lower bound")
+	}
+	edges := make([]float64, decades*perDecade+1)
+	for i := range edges {
+		edges[i] = lo * math.Pow(10, float64(i)/float64(perDecade))
+	}
+	return NewHist(edges)
+}
+
+// Add counts one value.
+func (h *Hist) Add(v float64) { h.AddN(v, 1) }
+
+// AddN counts a value n times.
+func (h *Hist) AddN(v float64, n int64) {
+	// sort.SearchFloat64s finds the first edge > v when offset by one,
+	// i.e. bin index 0 is underflow (v < edges[0]).
+	i := sort.SearchFloat64s(h.edges, v)
+	if i < len(h.edges) && h.edges[i] == v {
+		i++ // edges are inclusive lower bounds
+	}
+	h.counts[i] += n
+	h.total += n
+}
+
+// Merge adds o's counts into h. Shapes must match; o is not modified.
+func (h *Hist) Merge(o *Hist) error {
+	if len(o.edges) != len(h.edges) {
+		return fmt.Errorf("fleet: merging histograms with %d vs %d edges", len(o.edges), len(h.edges))
+	}
+	for i, e := range h.edges {
+		if o.edges[i] != e {
+			return fmt.Errorf("fleet: merging histograms with different edge %d: %v vs %v", i, e, o.edges[i])
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}
+
+// Total returns the number of counted values.
+func (h *Hist) Total() int64 { return h.total }
+
+// Bucket is one non-empty histogram bin, JSON-ready for the serving API.
+type Bucket struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders unbounded (infinite) bucket edges as null, which
+// encoding/json cannot represent as numbers.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type jsonBucket struct {
+		Lo    *float64 `json:"lo"`
+		Hi    *float64 `json:"hi"`
+		Count int64    `json:"count"`
+	}
+	jb := jsonBucket{Count: b.Count}
+	if !math.IsInf(b.Lo, 0) {
+		lo := b.Lo
+		jb.Lo = &lo
+	}
+	if !math.IsInf(b.Hi, 0) {
+		hi := b.Hi
+		jb.Hi = &hi
+	}
+	return json.Marshal(jb)
+}
+
+// Buckets returns the non-empty bins in order. Underflow and overflow
+// bins report infinite outer bounds.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b := Bucket{Lo: math.Inf(-1), Hi: math.Inf(1), Count: c}
+		if i > 0 {
+			b.Lo = h.edges[i-1]
+		}
+		if i < len(h.edges) {
+			b.Hi = h.edges[i]
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Counts returns a copy of the raw bin counts (underflow first, overflow
+// last); tests compare these across worker counts.
+func (h *Hist) Counts() []int64 { return append([]int64(nil), h.counts...) }

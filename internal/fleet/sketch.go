@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+)
+
+// Sketch is a t-digest-style online quantile estimator: a bounded list of
+// weighted centroids over the observed values, compressed under the
+// classic q(1-q) size bound so tail quantiles (P99 latency, worst-case
+// IMpJ) stay far more accurate than mid-range ones. It exists so a fleet
+// campaign can stream per-device metrics through O(compression) memory
+// instead of retaining one value per device.
+//
+// Determinism contract: a Sketch's state is a pure function of its insert
+// and merge history — Add buffers values and compresses at fixed counts,
+// sorts break ties stably, and Merge never mutates its argument — so two
+// shards fed the same device sequence hold bit-identical centroids no
+// matter which worker ran them or how often the campaign was snapshotted.
+type Sketch struct {
+	compression float64
+	centroids   []Centroid // sorted by Mean
+	unmerged    []float64  // insertion buffer, compressed when full
+	scratch     []Centroid // reusable compression workspace
+	count       int64
+	min, max    float64
+}
+
+// Centroid is one weighted point of a Sketch.
+type Centroid struct {
+	Mean  float64 `json:"mean"`
+	Count int64   `json:"count"`
+}
+
+// DefaultCompression bounds the sketch at roughly this many centroids;
+// the mid-range rank error is about 2/compression and shrinks
+// quadratically toward the tails.
+const DefaultCompression = 200
+
+// sketchBufferCap is the insertion-buffer size; compression happens every
+// this many Adds, a deterministic schedule independent of callers.
+const sketchBufferCap = 512
+
+// NewSketch returns an empty sketch (compression <= 0 selects the
+// default).
+func NewSketch(compression float64) *Sketch {
+	if compression <= 0 {
+		compression = DefaultCompression
+	}
+	return &Sketch{
+		compression: compression,
+		unmerged:    make([]float64, 0, sketchBufferCap),
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add inserts one value.
+func (s *Sketch) Add(v float64) {
+	s.unmerged = append(s.unmerged, v)
+	s.count++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if len(s.unmerged) == cap(s.unmerged) {
+		s.flush()
+	}
+}
+
+// Count returns the number of inserted values.
+func (s *Sketch) Count() int64 { return s.count }
+
+// Min returns the smallest inserted value (+Inf when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the largest inserted value (-Inf when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// flush drains the insertion buffer into the centroid list.
+func (s *Sketch) flush() {
+	if len(s.unmerged) == 0 {
+		return
+	}
+	sort.Float64s(s.unmerged)
+	s.scratch = s.scratch[:0]
+	for _, v := range s.unmerged {
+		s.scratch = append(s.scratch, Centroid{Mean: v, Count: 1})
+	}
+	s.unmerged = s.unmerged[:0]
+	s.absorb(s.scratch)
+}
+
+// absorb merges a sorted centroid list into the sketch and recompresses.
+// in must not alias s.centroids.
+func (s *Sketch) absorb(in []Centroid) {
+	merged := make([]Centroid, 0, len(s.centroids)+len(in))
+	i, j := 0, 0
+	for i < len(s.centroids) && j < len(in) {
+		// Stable: existing centroids win ties, so merge order — which is
+		// fixed by the caller — fully determines the result.
+		if s.centroids[i].Mean <= in[j].Mean {
+			merged = append(merged, s.centroids[i])
+			i++
+		} else {
+			merged = append(merged, in[j])
+			j++
+		}
+	}
+	merged = append(merged, s.centroids[i:]...)
+	merged = append(merged, in[j:]...)
+	s.centroids = compressCentroids(merged, s.compression)
+}
+
+// compressCentroids greedily coalesces a sorted centroid list under the
+// t-digest q(1-q) weight bound: a centroid spanning quantile q may hold at
+// most max(1, 4·n·q(1-q)/δ) weight, so centroids near the median are big
+// and centroids at the tails stay near-singletons. Compression is
+// performed in place over the input slice.
+func compressCentroids(cs []Centroid, compression float64) []Centroid {
+	if len(cs) == 0 {
+		return cs
+	}
+	var total int64
+	for _, c := range cs {
+		total += c.Count
+	}
+	out := cs[:1]
+	var cumBefore int64 // weight strictly before the open centroid
+	for _, c := range cs[1:] {
+		cur := &out[len(out)-1]
+		w := cur.Count + c.Count
+		q := (float64(cumBefore) + float64(w)/2) / float64(total)
+		if float64(w) <= math.Max(1, 4*float64(total)*q*(1-q)/compression) {
+			// Weighted mean; counts are exact so totals merge losslessly.
+			cur.Mean = (cur.Mean*float64(cur.Count) + c.Mean*float64(c.Count)) / float64(w)
+			cur.Count = w
+		} else {
+			cumBefore += cur.Count
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Merge folds o's contents into s. o is not modified — not even its
+// internal buffers — so shard sketches can be merged into throwaway
+// snapshot accumulators mid-campaign without perturbing the final,
+// deterministic result.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	s.flush()
+	if len(o.centroids) > 0 {
+		in := append([]Centroid(nil), o.centroids...)
+		s.absorb(in)
+	}
+	for _, v := range o.unmerged {
+		s.unmerged = append(s.unmerged, v)
+		if len(s.unmerged) == cap(s.unmerged) {
+			s.flush()
+		}
+	}
+	s.count += o.count
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by midpoint interpolation
+// between adjacent centroids, clamped to the observed min/max. It returns
+// NaN for an empty sketch.
+func (s *Sketch) Quantile(q float64) float64 {
+	s.flush()
+	if s.count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	target := q * float64(s.count)
+	var cum float64
+	prevMean, prevMid := s.min, 0.0
+	for _, c := range s.centroids {
+		mid := cum + float64(c.Count)/2
+		if target < mid {
+			if mid == prevMid {
+				return c.Mean
+			}
+			t := (target - prevMid) / (mid - prevMid)
+			return clamp(prevMean+(c.Mean-prevMean)*t, s.min, s.max)
+		}
+		cum += float64(c.Count)
+		prevMean, prevMid = c.Mean, mid
+	}
+	return s.max
+}
+
+// Centroids returns a copy of the compressed centroid list (flushing any
+// buffered inserts first). Tests compare these across worker counts to
+// prove campaign determinism bit for bit.
+func (s *Sketch) Centroids() []Centroid {
+	s.flush()
+	return append([]Centroid(nil), s.centroids...)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

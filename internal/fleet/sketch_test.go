@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sampleSets returns named 10k+ sample streams with qualitatively
+// different shapes: uniform, heavy-tailed, clustered, and adversarially
+// sorted input.
+func sampleSets(n int) map[string][]float64 {
+	rng := rand.New(rand.NewPCG(7, 11))
+	sets := make(map[string][]float64)
+
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 100
+	}
+	sets["uniform"] = uniform
+
+	lognormal := make([]float64, n)
+	for i := range lognormal {
+		lognormal[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	sets["lognormal"] = lognormal
+
+	clustered := make([]float64, n)
+	for i := range clustered {
+		c := float64(rng.IntN(3)) * 50
+		clustered[i] = c + rng.NormFloat64()
+	}
+	sets["clustered"] = clustered
+
+	ascending := make([]float64, n)
+	for i := range ascending {
+		ascending[i] = float64(i)
+	}
+	sets["ascending"] = ascending
+	return sets
+}
+
+var testQuantiles = []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+
+// rankErr returns |empirical rank of v − q·n| / n against the sorted data.
+func rankErr(sorted []float64, v, q float64) float64 {
+	// v may fall inside a run of equal values; any rank within the run is
+	// correct, so take the closest bound.
+	lo := sort.SearchFloat64s(sorted, v)
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	target := q * float64(len(sorted))
+	errLo := math.Abs(float64(lo) - target)
+	errHi := math.Abs(float64(hi) - target)
+	return math.Min(errLo, errHi) / float64(len(sorted))
+}
+
+// errBound is the accepted rank error at quantile q for the default
+// compression: the t-digest q(1-q) shape with a small floor, far tighter
+// at the tails than the middle.
+func errBound(q float64) float64 {
+	return math.Max(0.002, 10*q*(1-q)/DefaultCompression)
+}
+
+func TestSketchQuantileError(t *testing.T) {
+	const n = 20000
+	for name, data := range sampleSets(n) {
+		t.Run(name, func(t *testing.T) {
+			s := NewSketch(0)
+			for _, v := range data {
+				s.Add(v)
+			}
+			if s.Count() != n {
+				t.Fatalf("count = %d, want %d", s.Count(), n)
+			}
+			sorted := append([]float64(nil), data...)
+			sort.Float64s(sorted)
+			for _, q := range testQuantiles {
+				v := s.Quantile(q)
+				if e, bound := rankErr(sorted, v, q), errBound(q); e > bound {
+					t.Errorf("q=%v: estimate %v has rank error %.4f > %.4f", q, v, e, bound)
+				}
+			}
+			if got := s.Quantile(0); got != sorted[0] {
+				t.Errorf("Quantile(0) = %v, want min %v", got, sorted[0])
+			}
+			if got := s.Quantile(1); got != sorted[n-1] {
+				t.Errorf("Quantile(1) = %v, want max %v", got, sorted[n-1])
+			}
+		})
+	}
+}
+
+// TestSketchMergedQuantileError proves sharded accumulation keeps the
+// error bound: data split across 16 sketches and merged must answer like
+// one sketch over everything.
+func TestSketchMergedQuantileError(t *testing.T) {
+	const n, shards = 20000, 16
+	for name, data := range sampleSets(n) {
+		t.Run(name, func(t *testing.T) {
+			parts := make([]*Sketch, shards)
+			for i := range parts {
+				parts[i] = NewSketch(0)
+			}
+			for i, v := range data {
+				parts[i%shards].Add(v)
+			}
+			merged := NewSketch(0)
+			for _, p := range parts {
+				merged.Merge(p)
+			}
+			if merged.Count() != n {
+				t.Fatalf("merged count = %d, want %d", merged.Count(), n)
+			}
+			sorted := append([]float64(nil), data...)
+			sort.Float64s(sorted)
+			for _, q := range testQuantiles {
+				v := merged.Quantile(q)
+				// Merging compresses twice, so allow 2x the single-sketch
+				// budget — still percent-level mid-range and per-mille tails.
+				if e, bound := rankErr(sorted, v, q), 2*errBound(q); e > bound {
+					t.Errorf("q=%v: merged estimate %v has rank error %.4f > %.4f", q, v, e, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestSketchMergeLeavesSourceIntact is the snapshot-safety property: a
+// campaign snapshot merges live shard sketches into a throwaway
+// accumulator, which must not change the shard's subsequent behavior.
+func TestSketchMergeLeavesSourceIntact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	src := NewSketch(0)
+	twin := NewSketch(0) // same inserts, never merged from
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64()
+		src.Add(v)
+		twin.Add(v)
+	}
+	sink := NewSketch(0)
+	sink.Merge(src) // mid-stream snapshot
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64()
+		src.Add(v)
+		twin.Add(v)
+	}
+	if !reflect.DeepEqual(src.Centroids(), twin.Centroids()) {
+		t.Fatal("Merge mutated its source: centroids diverged from the untouched twin")
+	}
+	if src.Count() != twin.Count() || src.Min() != twin.Min() || src.Max() != twin.Max() {
+		t.Fatal("Merge mutated its source's count/min/max")
+	}
+}
+
+func TestSketchCentroidCountBounded(t *testing.T) {
+	s := NewSketch(0)
+	for i := 0; i < 200000; i++ {
+		s.Add(float64(i % 997))
+	}
+	// The q(1-q) bound admits roughly pi*delta/4 interior centroids plus
+	// near-singleton tails; 8x compression is a loose static ceiling that
+	// any O(fleet) regression would blow through immediately.
+	if n := len(s.Centroids()); n > 8*DefaultCompression {
+		t.Fatalf("sketch holds %d centroids after 200k inserts, want O(compression)=%d", n, DefaultCompression)
+	}
+}
+
+func TestHistMergeAssociativeAndCommutative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	build := func() *Hist {
+		h := NewLogHist(1, 10, 4)
+		for i := 0; i < 3000; i++ {
+			h.Add(math.Exp(rng.NormFloat64() * 4))
+		}
+		return h
+	}
+	a, b, c := build(), build(), build()
+
+	// (a+b)+c
+	ab := NewLogHist(1, 10, 4)
+	for _, h := range []*Hist{a, b, c} {
+		if err := ab.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a+(b+c), built right-to-left in a different grouping and order
+	bc := NewLogHist(1, 10, 4)
+	for _, h := range []*Hist{c, b, a} {
+		if err := bc.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(ab.Counts(), bc.Counts()) {
+		t.Fatal("histogram merge is not order-independent")
+	}
+	if ab.Total() != 9000 {
+		t.Fatalf("merged total = %d, want 9000", ab.Total())
+	}
+}
+
+func TestHistShapeMismatchRejected(t *testing.T) {
+	a := NewLinearHist(8)
+	b := NewLinearHist(16)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging differently-shaped histograms did not error")
+	}
+}
+
+func TestHistBinning(t *testing.T) {
+	h := NewLinearHist(4) // bins [0,1) [1,2) [2,3) [3,4) + under/overflow
+	for _, v := range []float64{0, 0, 1, 2.5, 3, 4, 100, -1} {
+		h.Add(v)
+	}
+	want := []int64{1, 2, 1, 1, 1, 2} // under, 0,1,2,3, over
+	if got := h.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d, want 8", h.Total())
+	}
+	var n int64
+	for _, b := range h.Buckets() {
+		n += b.Count
+	}
+	if n != 8 {
+		t.Fatalf("bucket counts sum to %d, want 8", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dnn"
+	"repro/internal/fixed"
 	"repro/internal/genesis"
 )
 
@@ -25,6 +26,13 @@ type Prepared struct {
 
 // Networks lists the three evaluation networks in paper order.
 func Networks() []string { return []string{"mnist", "har", "okg"} }
+
+// QuantInput returns the prepared test sample quantized for deployment —
+// the form device-level consumers (measurement cells, fleet campaigns)
+// feed to Runtime.Infer.
+func (p *Prepared) QuantInput() []fixed.Q15 {
+	return p.Model.QuantizeInput(p.Input)
+}
 
 // PrepareOptions sizes the GENESIS runs behind the evaluation.
 type PrepareOptions struct {

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/intermittest"
+)
+
+// ModelSource resolves model names for fleet specs.
+type ModelSource interface {
+	Model(name string) (fleet.Model, error)
+}
+
+// ModelCache is the serving-side model registry: each named network is
+// prepared at most once per process and the resulting deployable model is
+// shared, read-only, by every job that references it. Preparation goes
+// through harness.Prepare, so with a CacheDir set the GENESIS report comes
+// from the content-addressed report cache and a warm server trains
+// nothing at all.
+type ModelCache struct {
+	mu       sync.Mutex
+	po       harness.PrepareOptions
+	models   map[string]fleet.Model
+	prepares int64
+}
+
+// NewModelCache returns an empty cache preparing networks with po.
+func NewModelCache(po harness.PrepareOptions) *ModelCache {
+	return &ModelCache{po: po, models: make(map[string]fleet.Model)}
+}
+
+// Model resolves one model name: "tiny" (the intermittence-test network,
+// built in-process) or an evaluation network prepared via GENESIS.
+func (c *ModelCache) Model(name string) (fleet.Model, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.models[name]; ok {
+		return m, nil
+	}
+	var m fleet.Model
+	switch {
+	case name == "tiny":
+		qm, x := intermittest.TinyModel(c.po.Seed)
+		m = fleet.Model{Net: "tiny", QM: qm, Input: qm.QuantizeInput(x)}
+	case slices.Contains(harness.Networks(), name):
+		p, err := harness.Prepare(name, c.po)
+		if err != nil {
+			return fleet.Model{}, fmt.Errorf("serve: preparing %s: %w", name, err)
+		}
+		m = fleet.Model{Net: name, QM: p.Model, Input: p.QuantInput()}
+	default:
+		return fleet.Model{}, fmt.Errorf("serve: unknown model %q (have tiny, %v)", name, harness.Networks())
+	}
+	c.prepares++
+	c.models[name] = m
+	return m, nil
+}
+
+// Prepares reports how many distinct models have been built — jobs
+// re-using a model do not increment it, which the lifecycle tests assert.
+func (c *ModelCache) Prepares() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prepares
+}
+
+// registry resolves a spec's model list into the map fleet campaigns
+// consume.
+func registry(src ModelSource, names []string) (map[string]fleet.Model, error) {
+	out := make(map[string]fleet.Model, len(names))
+	for _, n := range names {
+		if _, ok := out[n]; ok {
+			continue
+		}
+		m, err := src.Model(n)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = m
+	}
+	return out, nil
+}

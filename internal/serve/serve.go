@@ -1,0 +1,401 @@
+// Package serve is the job-serving front-end over internal/fleet: an
+// HTTP/JSON API that accepts fleet-campaign specs, queues them, dedups
+// identical specs through their content address (a resubmitted spec is
+// answered from the finished or in-flight job without re-simulating a
+// single device), streams progress and aggregate statistics while a
+// campaign runs, and supports cancellation and graceful drain.
+//
+//	POST   /jobs      submit a fleet.Spec        -> {id, status, ...}
+//	GET    /jobs/{id} progress + aggregates      (streamed while running)
+//	DELETE /jobs/{id} cancel a queued/running job
+//	GET    /healthz   liveness + counters
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds each campaign's simulation fan-out (0 = GOMAXPROCS).
+	Workers int
+	// MaxDevices rejects jobs larger than this (0 = DefaultMaxDevices).
+	MaxDevices int
+	// QueueDepth bounds the pending-job queue (0 = 64).
+	QueueDepth int
+}
+
+// DefaultMaxDevices caps a single job's fleet size.
+const DefaultMaxDevices = 1_000_000
+
+// job is one submitted campaign.
+type job struct {
+	id       string
+	hash     string
+	spec     fleet.Spec
+	campaign *fleet.Campaign
+	cancel   context.CancelFunc
+	ctx      context.Context
+
+	mu        sync.Mutex
+	status    Status
+	result    *fleet.Result
+	err       error
+	dedupHits int64
+	submitted time.Time
+	finished  time.Time
+}
+
+func (j *job) setStatus(st Status) {
+	j.mu.Lock()
+	j.status = st
+	j.mu.Unlock()
+}
+
+// Server queues and runs fleet jobs. Construct with New, mount Handler on
+// an http.Server, and call Shutdown to drain.
+type Server struct {
+	models ModelSource
+	opt    Options
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	byHash   map[string]*job
+	queue    chan *job
+	draining bool
+	idSeq    int64
+
+	runnerDone chan struct{}
+
+	submitted atomic.Int64
+	deduped   atomic.Int64
+	campaigns atomic.Int64
+	devices   atomic.Int64
+}
+
+// New returns a Server with its job runner started.
+func New(models ModelSource, opt Options) *Server {
+	if opt.MaxDevices <= 0 {
+		opt.MaxDevices = DefaultMaxDevices
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 64
+	}
+	s := &Server{
+		models:     models,
+		opt:        opt,
+		jobs:       make(map[string]*job),
+		byHash:     make(map[string]*job),
+		queue:      make(chan *job, opt.QueueDepth),
+		runnerDone: make(chan struct{}),
+	}
+	go s.runner()
+	return s
+}
+
+// runner executes queued jobs one campaign at a time; each campaign
+// parallelizes internally across opt.Workers simulation workers.
+func (s *Server) runner() {
+	defer close(s.runnerDone)
+	for j := range s.queue {
+		if j.ctx.Err() != nil {
+			j.setStatus(StatusCancelled)
+			continue
+		}
+		j.setStatus(StatusRunning)
+		s.campaigns.Add(1)
+		res, err := j.campaign.Run(j.ctx, s.opt.Workers)
+		j.mu.Lock()
+		j.finished = time.Now()
+		switch {
+		case err == nil:
+			j.status, j.result = StatusDone, res
+			s.devices.Add(int64(res.Agg.Devices))
+		case errors.Is(err, context.Canceled):
+			j.status = StatusCancelled
+		default:
+			j.status, j.err = StatusFailed, err
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Stats is the server's cumulative counter snapshot. The lifecycle tests
+// use it to prove duplicate jobs are answered without re-simulation.
+type Stats struct {
+	Submitted        int64 `json:"submitted"`
+	Deduped          int64 `json:"deduped"`
+	CampaignsRun     int64 `json:"campaigns_run"`
+	DevicesSimulated int64 `json:"devices_simulated"`
+}
+
+// Stats returns the counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:        s.submitted.Load(),
+		Deduped:          s.deduped.Load(),
+		CampaignsRun:     s.campaigns.Load(),
+		DevicesSimulated: s.devices.Load(),
+	}
+}
+
+// Shutdown drains the server: new submissions are rejected immediately,
+// queued and running jobs are given until ctx expires to finish, then
+// cancelled. It returns nil on a clean drain, ctx.Err() otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.runnerDone:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-s.runnerDone
+		return ctx.Err()
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs, draining := len(s.jobs), s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": draining,
+		"jobs":     jobs,
+		"stats":    s.Stats(),
+	})
+}
+
+// jobDoc is the wire form of a job's state.
+type jobDoc struct {
+	ID        string         `json:"id"`
+	Hash      string         `json:"hash"`
+	Status    Status         `json:"status"`
+	Deduped   bool           `json:"deduped,omitempty"`
+	DedupHits int64          `json:"dedup_hits,omitempty"`
+	Done      int            `json:"done"`
+	Total     int            `json:"total"`
+	Error     string         `json:"error,omitempty"`
+	Elapsed   float64        `json:"elapsed_s"`
+	Agg       *fleet.Summary `json:"aggregates,omitempty"`
+}
+
+// doc renders the job, including streamed mid-campaign aggregates while
+// it runs.
+func (j *job) doc(deduped bool) jobDoc {
+	j.mu.Lock()
+	st, res, jerr, hits, sub, fin := j.status, j.result, j.err, j.dedupHits, j.submitted, j.finished
+	j.mu.Unlock()
+	done, total := j.campaign.Progress()
+	d := jobDoc{
+		ID: j.id, Hash: j.hash, Status: st,
+		Deduped: deduped, DedupHits: hits,
+		Done: done, Total: total,
+	}
+	end := time.Now()
+	if !fin.IsZero() {
+		end = fin
+	}
+	d.Elapsed = end.Sub(sub).Seconds()
+	if jerr != nil {
+		d.Error = jerr.Error()
+	}
+	switch {
+	case res != nil:
+		sum := res.Agg.Summary()
+		d.Agg = &sum
+	case st == StatusRunning:
+		if snap, err := j.campaign.Snapshot(); err == nil {
+			sum := snap.Agg.Summary()
+			d.Agg = &sum
+		}
+	}
+	return d
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec fleet.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	if spec.Devices > s.opt.MaxDevices {
+		writeErr(w, http.StatusBadRequest, "fleet of %d devices exceeds the %d-device job cap",
+			spec.Devices, s.opt.MaxDevices)
+		return
+	}
+	hash := spec.Hash()
+
+	// Fast path: an identical spec already queued, running, or finished is
+	// answered from its job — zero re-simulation.
+	if d, ok := s.lookupDup(hash); ok {
+		writeJSON(w, http.StatusOK, d)
+		return
+	}
+
+	// Resolve models outside the server lock: a first reference to an
+	// evaluation network may train (or hit the GENESIS report cache).
+	models, err := registry(s.models, spec.Models)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	campaign, err := fleet.NewCampaign(spec, models)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		hash: hash, spec: spec, campaign: campaign,
+		ctx: ctx, cancel: cancel,
+		status: StatusQueued, submitted: time.Now(),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Re-check under the lock: a duplicate may have landed while models
+	// resolved.
+	if dup, ok := s.byHash[hash]; ok && dup.reusable() {
+		s.mu.Unlock()
+		cancel()
+		s.recordDup(dup)
+		writeJSON(w, http.StatusOK, dup.doc(true))
+		return
+	}
+	s.idSeq++
+	j.id = fmt.Sprintf("job-%d-%s", s.idSeq, hash[:12])
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusServiceUnavailable, "job queue is full")
+		return
+	}
+	s.jobs[j.id] = j
+	s.byHash[hash] = j
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.doc(false))
+}
+
+// reusable reports whether a duplicate submission can be answered from
+// this job. Failed and cancelled jobs are not reused — resubmitting one
+// retries it.
+func (j *job) reusable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusQueued || j.status == StatusRunning || j.status == StatusDone
+}
+
+// lookupDup finds a reusable job with this content address.
+func (s *Server) lookupDup(hash string) (jobDoc, bool) {
+	s.mu.Lock()
+	dup, ok := s.byHash[hash]
+	s.mu.Unlock()
+	if !ok || !dup.reusable() {
+		return jobDoc{}, false
+	}
+	s.recordDup(dup)
+	return dup.doc(true), true
+}
+
+func (s *Server) recordDup(j *job) {
+	s.deduped.Add(1)
+	j.mu.Lock()
+	j.dedupHits++
+	j.mu.Unlock()
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.doc(false))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	// A queued job will be skipped by the runner; mark it cancelled now so
+	// the response reflects its fate.
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, j.doc(false))
+}
