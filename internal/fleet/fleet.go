@@ -263,7 +263,9 @@ func (c *Campaign) Snapshot() (*Result, error) {
 // Workers claim whole shards; shard s simulates devices s, s+S, s+2S, ...
 // in index order, so the aggregation sequence of every shard — and hence
 // the merged result — is identical under any worker count. Cancelling the
-// context stops the sweep and returns the context's error.
+// context stops the sweep and returns the context's error. Any worker
+// error likewise cancels the sweep, so peers stop at their next device
+// instead of simulating the rest of the fleet behind a lost cause.
 func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -271,6 +273,8 @@ func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 	if workers > len(c.shards) {
 		workers = len(c.shards)
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var next atomic.Int64
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -283,21 +287,30 @@ func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 			buf := trace.NewAnalysisBuffer(256)
 			for {
 				s := int(next.Add(1) - 1)
-				if s >= len(c.shards) || errs[w] != nil {
+				if s >= len(c.shards) {
 					return
 				}
-				errs[w] = c.runShard(ctx, s, buf)
-				if errs[w] != nil {
+				if errs[w] = c.runShard(ctx, s, buf); errs[w] != nil {
+					cancel()
 					return
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	// Prefer a worker's real failure over the context.Canceled fallout its
+	// cancellation induced in the peers.
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, context.Canceled) {
 			return nil, err
 		}
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
 	}
 	return c.Snapshot()
 }

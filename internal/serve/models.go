@@ -21,43 +21,75 @@ type ModelSource interface {
 // through harness.Prepare, so with a CacheDir set the GENESIS report comes
 // from the content-addressed report cache and a warm server trains
 // nothing at all.
+//
+// Builds are per-model singleflight: the cache mutex is held only for map
+// bookkeeping, never across harness.Prepare, so a submission referencing a
+// cached model is not serialized behind another model's training. Callers
+// asking for the same in-flight model wait on that one build.
 type ModelCache struct {
+	po harness.PrepareOptions
+
 	mu       sync.Mutex
-	po       harness.PrepareOptions
-	models   map[string]fleet.Model
+	entries  map[string]*modelEntry
 	prepares int64
+}
+
+// modelEntry is one model's singleflight slot: ready closes when the
+// build finishes, after m and err are set (they are immutable from then
+// on).
+type modelEntry struct {
+	ready chan struct{}
+	m     fleet.Model
+	err   error
 }
 
 // NewModelCache returns an empty cache preparing networks with po.
 func NewModelCache(po harness.PrepareOptions) *ModelCache {
-	return &ModelCache{po: po, models: make(map[string]fleet.Model)}
+	return &ModelCache{po: po, entries: make(map[string]*modelEntry)}
 }
 
 // Model resolves one model name: "tiny" (the intermittence-test network,
 // built in-process) or an evaluation network prepared via GENESIS.
 func (c *ModelCache) Model(name string) (fleet.Model, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if m, ok := c.models[name]; ok {
-		return m, nil
+	if e, ok := c.entries[name]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.m, e.err
 	}
-	var m fleet.Model
+	e := &modelEntry{ready: make(chan struct{})}
+	c.entries[name] = e
+	c.mu.Unlock()
+
+	e.m, e.err = c.build(name)
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Errors are not cached: a later submission retries the build.
+		delete(c.entries, name)
+	} else {
+		c.prepares++
+	}
+	c.mu.Unlock()
+	return e.m, e.err
+}
+
+// build constructs one model, outside any lock.
+func (c *ModelCache) build(name string) (fleet.Model, error) {
 	switch {
 	case name == "tiny":
 		qm, x := intermittest.TinyModel(c.po.Seed)
-		m = fleet.Model{Net: "tiny", QM: qm, Input: qm.QuantizeInput(x)}
+		return fleet.Model{Net: "tiny", QM: qm, Input: qm.QuantizeInput(x)}, nil
 	case slices.Contains(harness.Networks(), name):
 		p, err := harness.Prepare(name, c.po)
 		if err != nil {
 			return fleet.Model{}, fmt.Errorf("serve: preparing %s: %w", name, err)
 		}
-		m = fleet.Model{Net: name, QM: p.Model, Input: p.QuantInput()}
+		return fleet.Model{Net: name, QM: p.Model, Input: p.QuantInput()}, nil
 	default:
 		return fleet.Model{}, fmt.Errorf("serve: unknown model %q (have tiny, %v)", name, harness.Networks())
 	}
-	c.prepares++
-	c.models[name] = m
-	return m, nil
 }
 
 // Prepares reports how many distinct models have been built — jobs

@@ -44,23 +44,37 @@ type Options struct {
 	MaxDevices int
 	// QueueDepth bounds the pending-job queue (0 = 64).
 	QueueDepth int
+	// MaxFinishedJobs bounds how many terminal jobs are retained for
+	// GET/dedup before the oldest are evicted (0 = DefaultMaxFinishedJobs).
+	MaxFinishedJobs int
 }
 
 // DefaultMaxDevices caps a single job's fleet size.
 const DefaultMaxDevices = 1_000_000
 
+// DefaultMaxFinishedJobs is the terminal-job retention bound. A retained
+// terminal job costs O(summary) — its campaign's shard aggregates are
+// dropped at finalization — so the server's footprint stays bounded no
+// matter how many distinct specs a long-lived process serves.
+const DefaultMaxFinishedJobs = 1024
+
 // job is one submitted campaign.
 type job struct {
-	id       string
-	hash     string
-	spec     fleet.Spec
-	campaign *fleet.Campaign
-	cancel   context.CancelFunc
-	ctx      context.Context
+	id     string
+	hash   string
+	spec   fleet.Spec
+	cancel context.CancelFunc
+	ctx    context.Context
 
-	mu        sync.Mutex
-	status    Status
-	result    *fleet.Result
+	mu       sync.Mutex
+	campaign *fleet.Campaign // nil once the job reaches a terminal state
+	status   Status
+	// summary is materialized exactly once, by the runner, when the job
+	// completes. Sketch quantile readout mutates sketch internals, so the
+	// aggregates of a finished campaign must never be read concurrently by
+	// response handlers; handlers only ever see this immutable snapshot.
+	summary   *fleet.Summary
+	done      int // final device count, set at terminal state
 	err       error
 	dedupHits int64
 	submitted time.Time
@@ -82,6 +96,7 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	byHash   map[string]*job
+	retired  []*job // terminal jobs in finalization order, oldest first
 	queue    chan *job
 	draining bool
 	idSeq    int64
@@ -102,6 +117,9 @@ func New(models ModelSource, opt Options) *Server {
 	if opt.QueueDepth <= 0 {
 		opt.QueueDepth = 64
 	}
+	if opt.MaxFinishedJobs <= 0 {
+		opt.MaxFinishedJobs = DefaultMaxFinishedJobs
+	}
 	s := &Server{
 		models:     models,
 		opt:        opt,
@@ -120,25 +138,61 @@ func (s *Server) runner() {
 	defer close(s.runnerDone)
 	for j := range s.queue {
 		if j.ctx.Err() != nil {
-			j.setStatus(StatusCancelled)
+			s.finalize(j, StatusCancelled, nil, nil)
 			continue
 		}
 		j.setStatus(StatusRunning)
 		s.campaigns.Add(1)
 		res, err := j.campaign.Run(j.ctx, s.opt.Workers)
-		j.mu.Lock()
-		j.finished = time.Now()
 		switch {
 		case err == nil:
-			j.status, j.result = StatusDone, res
-			s.devices.Add(int64(res.Agg.Devices))
+			s.finalize(j, StatusDone, res, nil)
 		case errors.Is(err, context.Canceled):
-			j.status = StatusCancelled
+			s.finalize(j, StatusCancelled, nil, nil)
 		default:
-			j.status, j.err = StatusFailed, err
+			s.finalize(j, StatusFailed, nil, err)
 		}
-		j.mu.Unlock()
 	}
+}
+
+// finalize moves j to a terminal state. The summary is materialized here,
+// once, while the runner is the aggregates' sole owner (quantile readout
+// mutates sketch internals, so it must never run on shared state), and
+// the campaign — 64 shard aggregates' worth of memory — is dropped: a
+// retained terminal job costs O(summary).
+func (s *Server) finalize(j *job, st Status, res *fleet.Result, err error) {
+	var sum *fleet.Summary
+	done, _ := j.campaign.Progress()
+	if res != nil {
+		v := res.Agg.Summary()
+		sum, done = &v, res.Done
+		s.devices.Add(int64(res.Agg.Devices))
+	}
+	j.mu.Lock()
+	j.status, j.err, j.summary, j.done = st, err, sum, done
+	j.campaign = nil
+	if j.finished.IsZero() {
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	s.retire(j)
+}
+
+// retire records j's finalization order and evicts the oldest retained
+// terminal jobs beyond opt.MaxFinishedJobs, so s.jobs/s.byHash stay
+// bounded on a long-lived server.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	s.retired = append(s.retired, j)
+	for len(s.retired) > s.opt.MaxFinishedJobs {
+		old := s.retired[0]
+		s.retired = s.retired[1:]
+		delete(s.jobs, old.id)
+		if s.byHash[old.hash] == old {
+			delete(s.byHash, old.hash)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Stats is the server's cumulative counter snapshot. The lifecycle tests
@@ -233,16 +287,22 @@ type jobDoc struct {
 }
 
 // doc renders the job, including streamed mid-campaign aggregates while
-// it runs.
+// it runs. It is read-only with respect to shared aggregate state: a
+// terminal job's summary was materialized once at finalization, and a
+// running job's snapshot merges into a fresh, handler-local accumulator.
 func (j *job) doc(deduped bool) jobDoc {
 	j.mu.Lock()
-	st, res, jerr, hits, sub, fin := j.status, j.result, j.err, j.dedupHits, j.submitted, j.finished
+	st, sum, jerr := j.status, j.summary, j.err
+	hits, sub, fin := j.dedupHits, j.submitted, j.finished
+	done, campaign := j.done, j.campaign
 	j.mu.Unlock()
-	done, total := j.campaign.Progress()
+	if campaign != nil {
+		done, _ = campaign.Progress()
+	}
 	d := jobDoc{
 		ID: j.id, Hash: j.hash, Status: st,
 		Deduped: deduped, DedupHits: hits,
-		Done: done, Total: total,
+		Done: done, Total: j.spec.Devices,
 	}
 	end := time.Now()
 	if !fin.IsZero() {
@@ -253,13 +313,12 @@ func (j *job) doc(deduped bool) jobDoc {
 		d.Error = jerr.Error()
 	}
 	switch {
-	case res != nil:
-		sum := res.Agg.Summary()
-		d.Agg = &sum
-	case st == StatusRunning:
-		if snap, err := j.campaign.Snapshot(); err == nil {
-			sum := snap.Agg.Summary()
-			d.Agg = &sum
+	case sum != nil:
+		d.Agg = sum
+	case st == StatusRunning && campaign != nil:
+		if snap, err := campaign.Snapshot(); err == nil {
+			live := snap.Agg.Summary()
+			d.Agg = &live
 		}
 	}
 	return d
@@ -284,6 +343,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// answered from its job — zero re-simulation.
 	if d, ok := s.lookupDup(hash); ok {
 		writeJSON(w, http.StatusOK, d)
+		return
+	}
+
+	// Reject drained submissions before resolving models: preparation may
+	// train a network for minutes, pointless work for a job that the
+	// post-resolve draining re-check would turn away anyway.
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 

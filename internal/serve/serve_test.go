@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -311,7 +312,8 @@ func TestServeGracefulShutdown(t *testing.T) {
 }
 
 // TestServeShutdownDeadlineCancels: a drain whose deadline expires cancels
-// the in-flight job rather than hanging.
+// both the in-flight job and the queued one behind it rather than hanging,
+// and freezes their elapsed_s at cancellation.
 func TestServeShutdownDeadlineCancels(t *testing.T) {
 	cache := NewModelCache(harness.PrepareOptions{Seed: 1, Quick: true})
 	s := New(cache, Options{Workers: 1})
@@ -319,6 +321,12 @@ func TestServeShutdownDeadlineCancels(t *testing.T) {
 	defer ts.Close()
 
 	d, _ := postSpec(t, ts, tinySpec(200000))
+	queuedSpec := tinySpec(200000)
+	queuedSpec.Seed = 2
+	q, code := postSpec(t, ts, queuedSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("queued submit status = %d", code)
+	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		if doc := getJob(t, ts, d.ID); doc.Status == StatusRunning {
@@ -334,8 +342,107 @@ func TestServeShutdownDeadlineCancels(t *testing.T) {
 	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
 		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
 	}
-	if doc := getJob(t, ts, d.ID); doc.Status != StatusCancelled {
-		t.Fatalf("deadline-expired drain left job %q", doc.Status)
+	for _, id := range []string{d.ID, q.ID} {
+		doc := getJob(t, ts, id)
+		if doc.Status != StatusCancelled {
+			t.Fatalf("deadline-expired drain left job %s %q", id, doc.Status)
+		}
+		// A cancelled job's clock is stopped: elapsed_s must not keep
+		// growing after the fact (the runner stamps finished even for jobs
+		// it skips).
+		time.Sleep(60 * time.Millisecond)
+		if again := getJob(t, ts, id); again.Elapsed != doc.Elapsed {
+			t.Fatalf("cancelled job %s elapsed still ticking: %v -> %v", id, doc.Elapsed, again.Elapsed)
+		}
+	}
+}
+
+// TestServeConcurrentDoneReads hammers GET /jobs/{id} on a finished job
+// from many goroutines. The done readout must be immutable — the summary
+// is materialized once at finalization — so under -race this guards
+// against quantile readout mutating shared sketch state per request.
+func TestServeConcurrentDoneReads(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	d, _ := postSpec(t, ts, tinySpec(200))
+	want := waitStatus(t, ts, d.ID, StatusDone)
+	wantAgg, err := json.Marshal(want.Agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(ts.URL + "/jobs/" + d.ID)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var doc jobDoc
+				err = json.NewDecoder(resp.Body).Decode(&doc)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := json.Marshal(doc.Agg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if doc.Agg == nil || !bytes.Equal(got, wantAgg) {
+					t.Errorf("concurrent read corrupted aggregates: %s", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServeFinishedJobEviction: with a small retention bound, the oldest
+// terminal job is evicted — its id 404s, and resubmitting its spec runs a
+// fresh campaign instead of hitting the dedup cache.
+func TestServeFinishedJobEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, MaxFinishedJobs: 2})
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		spec := tinySpec(50)
+		spec.Seed = seed
+		d, code := postSpec(t, ts, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit seed %d: status %d", seed, code)
+		}
+		waitStatus(t, ts, d.ID, StatusDone)
+		ids = append(ids, d.ID)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still served: status %d", resp.StatusCode)
+	}
+	// The two youngest survive.
+	for _, id := range ids[1:] {
+		if doc := getJob(t, ts, id); doc.Status != StatusDone {
+			t.Fatalf("retained job %s lost: %+v", id, doc)
+		}
+	}
+	// The evicted spec re-runs rather than dedups.
+	before := s.Stats().CampaignsRun
+	respec := tinySpec(50)
+	respec.Seed = 1
+	rd, code := postSpec(t, ts, respec)
+	if code != http.StatusAccepted || rd.ID == ids[0] {
+		t.Fatalf("evicted spec answered from cache: code=%d id=%s", code, rd.ID)
+	}
+	waitStatus(t, ts, rd.ID, StatusDone)
+	if after := s.Stats().CampaignsRun; after != before+1 {
+		t.Fatalf("campaigns_run = %d, want %d", after, before+1)
 	}
 }
 
