@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -103,6 +104,29 @@ type report struct {
 		ScalingAt4    float64      `json:"scaling_at_4,omitempty"`
 		Deterministic bool         `json:"deterministic"`
 	} `json:"fleet"`
+
+	// Tape A/Bs the pre-decoded op-tape executors against the interpreted
+	// walk on the two workloads that dominate wall-clock: the Fig. 9
+	// measurement matrix and single-worker fleet throughput. Identical
+	// records that every matrix cell and the fleet summary were bit-equal
+	// between executors — the speedup only counts on identical results.
+	// The fleet A/B sweeps the real evaluation networks (mnist, har, okg)
+	// rather than the synthetic tiny model: the tiny fleet is dominated by
+	// per-device fixed costs (construction, deployment, trace analysis)
+	// that are identical in both executors, while the real networks carry
+	// the MAC volume the pre-decoded tables actually accelerate.
+	Tape struct {
+		Fig9InterpNsPerOp    int64    `json:"fig9_interp_ns_per_op"`
+		Fig9TapeNsPerOp      int64    `json:"fig9_tape_ns_per_op"`
+		Fig9Speedup          float64  `json:"fig9_speedup"`
+		FleetDevices         int      `json:"fleet_devices"`
+		FleetNets            []string `json:"fleet_nets"`
+		FleetInterpDevPerSec float64  `json:"fleet_interp_devices_per_sec"`
+		FleetTapeDevPerSec   float64  `json:"fleet_tape_devices_per_sec"`
+		FleetSpeedup         float64  `json:"fleet_speedup"`
+		Identical            bool     `json:"identical"`
+		Iterations           int      `json:"iterations"`
+	} `json:"tape"`
 }
 
 type fleetPoint struct {
@@ -115,7 +139,7 @@ var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR7.json", "output JSON path")
 		count = flag.Int("count", 3, "timed iterations per workload")
 		seed  = flag.Uint64("seed", 1, "model seed")
 	)
@@ -219,6 +243,50 @@ func main() {
 		}
 	}
 
+	// Tape vs interpreter on the full matrix: identical cells, less time.
+	// The interpreted pass is re-timed here (rather than reusing the RunAll
+	// figure) so both sides run the identical Measure loop. The two
+	// executors alternate within each round and the minimum over rounds is
+	// reported: paired min-of-K discards scheduler and thermal noise that an
+	// averaged back-to-back comparison folds into the ratio.
+	matrixOnce := func(rts []core.Runtime) (time.Duration, []harness.RunResult) {
+		var results []harness.RunResult
+		start := time.Now()
+		for _, p := range prepped {
+			input := p.Model.QuantizeInput(p.Input)
+			for _, rt := range rts {
+				for _, pw := range harness.Powers() {
+					res, err := harness.Measure(p.Net, p.Model, rt, pw, input)
+					if err != nil {
+						fail(err)
+					}
+					results = append(results, res)
+				}
+			}
+		}
+		return time.Since(start), results
+	}
+	fmt.Fprintf(os.Stderr, "bench: Fig. 9 matrix interpreted vs tape, paired × %d...\n", *count)
+	var minInterp, minTape time.Duration
+	for i := 0; i < *count; i++ {
+		dI, resI := matrixOnce(harness.Runtimes())
+		dT, resT := matrixOnce(harness.TapeRuntimes())
+		if !reflect.DeepEqual(resI, resT) {
+			fail(fmt.Errorf("tape executors changed Fig. 9 results — bit-exactness broken"))
+		}
+		if i == 0 || dI < minInterp {
+			minInterp = dI
+		}
+		if i == 0 || dT < minTape {
+			minTape = dT
+		}
+	}
+	rep.Tape.Fig9InterpNsPerOp = minInterp.Nanoseconds()
+	rep.Tape.Fig9TapeNsPerOp = minTape.Nanoseconds()
+	rep.Tape.Fig9Speedup = float64(minInterp) / float64(minTape)
+	rep.Tape.Identical = true
+	rep.Tape.Iterations = *count
+
 	// Intermittence fuzz campaign, as CI runs it: every runtime plus the
 	// two negative controls, WAR shadow armed. Measured twice at identical
 	// sweep coverage — once with ForceScratch (the pre-fork path) and once
@@ -317,6 +385,86 @@ func main() {
 			fail(fmt.Errorf("fleet aggregates at %d workers differ from the 1-worker baseline", w))
 		}
 	}
+	// Tape vs interpreter on fleet throughput at one worker — the purest
+	// per-device simulation cost. The sweep runs the real evaluation
+	// networks (the tiny fleet above is all fixed per-device overhead,
+	// identical in both executors). The tape campaign must reproduce the
+	// interpreted summary byte-for-byte (Spec.Tape is an executor choice,
+	// not campaign identity) and sweep strictly more devices per second.
+	// Paired alternating min-of-K again: each round runs interpreted then
+	// tape under the same machine conditions, and the minima are compared.
+	const realFleetDevices = 600
+	realModels := make(map[string]fleet.Model, len(prepped))
+	var realNets []string
+	for _, p := range prepped {
+		realModels[p.Net] = fleet.Model{Net: p.Net, QM: p.Model, Input: p.Model.QuantizeInput(p.Input)}
+		realNets = append(realNets, p.Net)
+	}
+	realSpec := fleet.Spec{
+		Devices:  realFleetDevices,
+		Seed:     *seed,
+		Models:   realNets,
+		Runtimes: []string{"tile-32", "sonic", "tails"},
+		Powers: []fleet.PowerClass{
+			{Name: "rf-100uF", SystemSpec: energy.SystemSpec{Kind: "const", CapFarads: 100e-6}},
+			{Name: "cont", SystemSpec: energy.SystemSpec{Kind: "cont"}},
+		},
+	}
+	tapeSpec := realSpec
+	tapeSpec.Tape = true
+	fmt.Fprintf(os.Stderr, "bench: fleet campaign interpreted vs tape (%d real-network devices, 1 worker), paired × %d...\n",
+		realFleetDevices, *count)
+	var minFleetInterp, minFleetTape time.Duration
+	var realSummary []byte
+	for i := 0; i < *count; i++ {
+		t0 := time.Now()
+		interpFleet, err := fleet.Run(context.Background(), realSpec, realModels, 1)
+		if err != nil {
+			fail(err)
+		}
+		dI := time.Since(t0)
+		t0 = time.Now()
+		tapeFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 1)
+		if err != nil {
+			fail(err)
+		}
+		dT := time.Since(t0)
+		interpSum, err := json.Marshal(interpFleet.Agg.Summary())
+		if err != nil {
+			fail(err)
+		}
+		tapeSum, err := json.Marshal(tapeFleet.Agg.Summary())
+		if err != nil {
+			fail(err)
+		}
+		if realSummary == nil {
+			realSummary = interpSum
+		}
+		if string(interpSum) != string(realSummary) || string(tapeSum) != string(realSummary) {
+			fail(fmt.Errorf("tape fleet aggregates differ from the interpreted baseline"))
+		}
+		if i == 0 || dI < minFleetInterp {
+			minFleetInterp = dI
+		}
+		if i == 0 || dT < minFleetTape {
+			minFleetTape = dT
+		}
+	}
+	rep.Tape.FleetDevices = realFleetDevices
+	rep.Tape.FleetNets = realNets
+	rep.Tape.FleetInterpDevPerSec = float64(realFleetDevices) / minFleetInterp.Seconds()
+	rep.Tape.FleetTapeDevPerSec = float64(realFleetDevices) / minFleetTape.Seconds()
+	rep.Tape.FleetSpeedup = float64(minFleetInterp) / float64(minFleetTape)
+
+	// The tape path exists to be faster; a regression on either headline
+	// metric fails the bench outright.
+	if rep.Tape.Fig9Speedup <= 1.0 {
+		fail(fmt.Errorf("tape Fig. 9 matrix is not faster than interpreted (%.2fx)", rep.Tape.Fig9Speedup))
+	}
+	if rep.Tape.FleetSpeedup <= 1.0 {
+		fail(fmt.Errorf("tape fleet sweep is not faster than interpreted (%.2fx)", rep.Tape.FleetSpeedup))
+	}
+
 	// Scaling is only meaningful with real parallel hardware: on >=4 CPUs,
 	// 4 workers must deliver at least half of linear speedup over 1.
 	if runtime.GOMAXPROCS(0) >= 4 {
@@ -349,6 +497,11 @@ func main() {
 		fmt.Printf("fleet: %d devices @ %d workers: %.0f devices/sec\n",
 			rep.Fleet.Devices, p.Workers, p.DevicesPerSec)
 	}
+	fmt.Printf("tape: fig9 %.3fs -> %.3fs (%.2fx)  fleet %.0f -> %.0f devices/sec (%.2fx)  identical=%v\n",
+		float64(rep.Tape.Fig9InterpNsPerOp)/1e9, float64(rep.Tape.Fig9TapeNsPerOp)/1e9,
+		rep.Tape.Fig9Speedup,
+		rep.Tape.FleetInterpDevPerSec, rep.Tape.FleetTapeDevPerSec, rep.Tape.FleetSpeedup,
+		rep.Tape.Identical)
 	fmt.Printf("fleet: deterministic across worker counts: %v  -> %s\n",
 		rep.Fleet.Deterministic, *out)
 }

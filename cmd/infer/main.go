@@ -16,15 +16,13 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/mcu"
-	"repro/internal/sonic"
-	"repro/internal/tails"
 	"repro/internal/trace"
 )
 
@@ -32,7 +30,8 @@ func main() {
 	var (
 		modelPath = flag.String("model", "", "quantized model file (from cmd/genesis)")
 		net       = flag.String("net", "har", "network/dataset if no -model given")
-		rtName    = flag.String("runtime", "sonic", "base, tile-8, tile-32, tile-128, sonic, tails")
+		rtName    = flag.String("runtime", "sonic", "base, tile-N, sonic, tails, ckpt-N")
+		useTape   = flag.Bool("tape", false, "execute from the pre-decoded op tape (bit-exact with the interpreted walk, faster host simulation)")
 		pwName    = flag.String("power", "100uF",
 			"cont, 50mF, 1mF, 100uF, stoch-100uF, stoch-1mF, solar-100uF")
 		n           = flag.Int("n", 5, "number of test samples to classify")
@@ -51,12 +50,24 @@ func main() {
 		f.Close()
 	}
 
+	// Resolve names before any expensive model preparation: a typo in
+	// -runtime or -power should fail in milliseconds with the parse
+	// diagnostic, not after a GENESIS run.
+	rt, err := fleet.RuntimeByNameTape(*rtName, *useTape)
+	if err != nil {
+		fail(err)
+	}
+	pw := powerByName(*pwName, *harvestSeed)
+	if pw == nil {
+		fail(fmt.Errorf("unknown power system %q", *pwName))
+	}
+
 	var qm *dnn.QuantModel
-	var err error
 	if *modelPath != "" {
-		qm, err = dnn.LoadQuantFile(*modelPath)
-		if err != nil {
-			fail(err)
+		var lerr error
+		qm, lerr = dnn.LoadQuantFile(*modelPath)
+		if lerr != nil {
+			fail(lerr)
 		}
 		*net = qm.Name
 	} else {
@@ -66,15 +77,6 @@ func main() {
 			fail(perr)
 		}
 		qm = p.Model
-	}
-
-	rt := runtimeByName(*rtName)
-	if rt == nil {
-		fail(fmt.Errorf("unknown runtime %q", *rtName))
-	}
-	pw := powerByName(*pwName, *harvestSeed)
-	if pw == nil {
-		fail(fmt.Errorf("unknown power system %q", *pwName))
 	}
 
 	ds, err := dnn.DatasetFor(qm.Name, *seed, 1, *n)
@@ -160,24 +162,6 @@ func writeTrace(path string, buf *trace.Buffer, dev *mcu.Device) error {
 		opts.Capacitor = &c
 	}
 	return trace.WriteChrome(f, buf.Events(), opts)
-}
-
-func runtimeByName(name string) core.Runtime {
-	switch name {
-	case "base":
-		return baseline.Base{}
-	case "tile-8":
-		return baseline.Tile{TileSize: 8}
-	case "tile-32":
-		return baseline.Tile{TileSize: 32}
-	case "tile-128":
-		return baseline.Tile{TileSize: 128}
-	case "sonic":
-		return sonic.SONIC{}
-	case "tails":
-		return tails.TAILS{}
-	}
-	return nil
 }
 
 func powerByName(name string, harvestSeed uint64) func() energy.System {

@@ -24,10 +24,18 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/mcu"
 	"repro/internal/mem"
+	"repro/internal/tape"
 )
 
 // Base is the unprotected straight-line implementation.
-type Base struct{}
+type Base struct {
+	// Tape selects the pre-decoded op-tape executor (internal/tape): the
+	// model compiles once per process and the conv weight decode plus all
+	// per-attempt allocations leave the retry path. The issued op stream
+	// is bit-exact with the interpreted walk
+	// (TestTapeInterpreterDifferential).
+	Tape bool
+}
 
 // Name identifies the runtime.
 func (Base) Name() string { return "base" }
@@ -35,16 +43,16 @@ func (Base) Name() string { return "base" }
 // Infer runs one inference. Under intermittent power the whole inference
 // restarts from scratch on every failure; if it cannot finish within one
 // charge cycle it returns mcu.ErrDoesNotComplete.
-func (Base) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
+func (b Base) Infer(img *core.Image, input []fixed.Q15) ([]fixed.Q15, error) {
 	if err := img.LoadInput(input); err != nil {
 		return nil, err
 	}
-	return Base{}.ResumeInfer(img, nil)
+	return b.ResumeInfer(img, nil)
 }
 
 // ResumeInfer implements core.Resumer: Infer minus LoadInput, with an
 // optional pre-attempt hook for restoring a forked prefix.
-func (Base) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
+func (b Base) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, error) {
 	dev := img.Dev
 	dev.Emit(mcu.TraceRunBegin, "base", 0)
 	if atReboot != nil {
@@ -52,11 +60,24 @@ func (Base) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, er
 			return nil, err
 		}
 	}
+	var prog *tape.Program
+	var sc *tape.Scratch
+	if b.Tape {
+		prog = tape.Get(img.Model)
+		sc = prog.GetScratch()
+		defer prog.PutScratch(sc)
+	}
 	var outB bool
 	err := dev.Run(func() {
 		parity := false // input in ActA
-		for li := range img.Layers {
-			parity = baseLayer(dev, img, li, parity)
+		if prog != nil {
+			for li := range img.Layers {
+				parity = tapeBaseLayer(dev, img, prog, li, parity, sc)
+			}
+		} else {
+			for li := range img.Layers {
+				parity = baseLayer(dev, img, li, parity)
+			}
 		}
 		outB = parity
 	})

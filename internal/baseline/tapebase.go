@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+	"repro/internal/tape"
+)
+
+// tapeBaseLayer is baseLayer executing from the compiled program: the
+// identical op stream, with the conv weight decode read from tables and
+// every per-attempt allocation replaced by pooled scratch. Dense, sparse,
+// and pooling kernels are already decode-free, so they run the shared
+// interpreted bodies. Any change here must stay bit-exact with baseLayer
+// (TestTapeInterpreterDifferential enforces it).
+func tapeBaseLayer(dev *mcu.Device, img *core.Image, prog *tape.Program, li int,
+	parity bool, sc *tape.Scratch) bool {
+	l := &img.Layers[li]
+	q := l.Q
+	tl := &prog.Layers[li]
+	src, dst := actBufs(img, parity)
+	dev.SetSection(tl.Name, mcu.PhaseControl)
+
+	switch q.Kind {
+	case dnn.QConv:
+		tapeBaseConv(dev, img, prog, l, tl, src, dst, sc)
+	case dnn.QDense:
+		baseDense(dev, l, tl.Name, src, dst)
+	case dnn.QSparseDense:
+		baseSparseDense(dev, l, tl.Name, src, dst)
+	case dnn.QReLU:
+		dev.SetSection(tl.Name, mcu.PhaseKernel)
+		n := q.InShape.Len()
+		dev.Ops(mcu.OpBranch, n)
+		dev.LoadRange(src, 0, n)
+		vals := sc.Out[:n]
+		for i := 0; i < n; i++ {
+			vals[i] = int64(fixed.ReLU(fixed.Q15(src.Get(i))))
+		}
+		dev.StoreRange(dst, 0, vals)
+	case dnn.QPool:
+		basePool(dev, q, tl.Name, src, dst)
+	case dnn.QFlatten:
+		return parity // identity: no copy, no parity flip
+	}
+	return !parity
+}
+
+// tapeBaseConv is baseConv with the per-element (kx, ky, ci, f) div/mod
+// decode replaced by the program's WSrc/WAccBase tables and the zero/row/
+// finalize buffers drawn from scratch instead of fresh allocations.
+func tapeBaseConv(dev *mcu.Device, img *core.Image, prog *tape.Program,
+	l *core.LayerImage, tl *tape.Layer, src, dst *mem.Region, sc *tape.Scratch) {
+	q := l.Q
+	w := q.InShape[2]
+	oh, ow := q.OutShape[1], q.OutShape[2]
+	positions := tl.Positions
+	dev.SetSection(tl.Name, mcu.PhaseKernel)
+
+	acc := img.AccA
+	n := q.F * positions
+	dev.Ops(mcu.OpBranch, n)
+	dev.StoreRange(acc, 0, prog.Zeros(n))
+	row := sc.Row[:ow]
+	apply := func(widx int) {
+		wv := fixed.Q15(dev.Load(l.W, widx))
+		srcRow := int(tl.WSrc[widx])
+		accRow := int(tl.WAccBase[widx])
+		for oy := 0; oy < oh; oy++ {
+			dev.MACRange(src, srcRow, acc, accRow, ow)
+			for ox := 0; ox < ow; ox++ {
+				x := fixed.Q15(src.Get(srcRow + ox))
+				a := fixed.Acc(acc.Get(accRow + ox))
+				row[ox] = int64(a.MAC(wv, x))
+			}
+			dev.StoreRange(acc, accRow, row)
+			srcRow += w
+			accRow += ow
+		}
+	}
+	if l.NZ != nil {
+		for p := 0; p < l.NZ.Len(); p++ {
+			dev.Op(mcu.OpBranch)
+			apply(int(dev.Load(l.NZ, p)))
+		}
+	} else {
+		for widx := 0; widx < l.W.Len(); widx++ {
+			dev.Op(mcu.OpBranch)
+			apply(widx)
+		}
+	}
+	out := sc.Out[:positions]
+	for f := 0; f < q.F; f++ {
+		b := fixed.Q15(dev.Load(l.B, f))
+		base := f * positions
+		dev.Ops(mcu.OpBranch, positions)
+		dev.LoadRange(acc, base, positions)
+		dev.Ops(mcu.OpFixedAdd, positions)
+		for i := 0; i < positions; i++ {
+			a := fixed.Acc(acc.Get(base + i))
+			out[i] = int64(a.AddQ(b).SatShiftSigned(q.Shift))
+		}
+		dev.StoreRange(dst, base, out)
+	}
+}

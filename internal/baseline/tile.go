@@ -8,6 +8,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/mcu"
 	"repro/internal/mem"
+	"repro/internal/tape"
 	"repro/internal/task"
 )
 
@@ -27,6 +28,11 @@ type Tile struct {
 	TileSize int
 	// LogEntries sizes the runtime redo log (default DefaultLogEntries).
 	LogEntries int
+	// Tape sources the conv/pool decode memos from the model's compiled
+	// program (internal/tape) instead of rebuilding them on every
+	// inference. Bit-exact with the interpreted build
+	// (TestTapeInterpreterDifferential).
+	Tape bool
 }
 
 // DefaultLogEntries is sized for the largest per-task write set: a tile of
@@ -86,6 +92,9 @@ func (t Tile) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15, 
 	}
 
 	b := tileBuilder{img: img, rt: rt, k: t.TileSize}
+	if t.Tape {
+		b.prog = tape.Get(img.Model)
+	}
 	outB, err := b.build()
 	if err != nil {
 		return nil, err
@@ -126,6 +135,17 @@ type tileBuilder struct {
 	img *core.Image
 	rt  *task.Runtime
 	k   int
+	// prog, when set, supplies the pre-decoded per-layer tables so the
+	// builder skips its per-inference decode-memo construction.
+	prog *tape.Program
+}
+
+// layerTape returns layer li's compiled tables, or nil without a program.
+func (b *tileBuilder) layerTape(li int) *tape.Layer {
+	if b.prog == nil {
+		return nil
+	}
+	return &b.prog.Layers[li]
 }
 
 // build creates all tasks in execution order; task 0 is the entry. It
@@ -156,7 +176,7 @@ func (b *tileBuilder) build() (bool, error) {
 		layer := core.LayerName(b.img.Model, li)
 		switch q.Kind {
 		case dnn.QConv:
-			b.convPasses(addPass, l, layer, src, dst)
+			b.convPasses(addPass, l, li, layer, src, dst)
 			parity = !parity
 		case dnn.QDense:
 			b.densePasses(addPass, l, layer, src, dst)
@@ -190,7 +210,7 @@ func (b *tileBuilder) build() (bool, error) {
 			})
 			parity = !parity
 		case dnn.QPool:
-			b.poolPass(addPass, q, layer, src, dst)
+			b.poolPass(addPass, q, li, layer, src, dst)
 			parity = !parity
 		case dnn.QFlatten:
 			// identity
@@ -198,7 +218,10 @@ func (b *tileBuilder) build() (bool, error) {
 	}
 
 	// Materialize each pass as one self-transitioning task over a shared
-	// cursor in the control block.
+	// cursor in the control block. The tape build pre-resolves each pass's
+	// two attribution sections into tokens — same accounting, no
+	// per-activation Section construction; the interpreted build keeps the
+	// string path as the independent reference.
 	ctl := b.img.Ctl
 	for pi := range passes {
 		p := passes[pi]
@@ -207,11 +230,7 @@ func (b *tileBuilder) build() (bool, error) {
 			next = task.Done
 		}
 		self := task.ID(pi)
-		b.rt.Add(p.name, func(c *task.Ctx) task.ID {
-			dev := c.Dev()
-			dev.SetSection(p.layer, mcu.PhaseControl)
-			base := int(c.Read(ctl, tileCursorSlot))
-			dev.SetSection(p.layer, mcu.PhaseKernel)
+		body := func(c *task.Ctx, base int) (int, task.ID) {
 			end := base + b.k
 			if end > p.n {
 				end = p.n
@@ -223,13 +242,43 @@ func (b *tileBuilder) build() (bool, error) {
 					p.f(c, i)
 				}
 			}
-			dev.SetSection(p.layer, mcu.PhaseControl)
 			if end >= p.n {
-				c.Write(ctl, tileCursorSlot, 0) // reset for next pass
-				return next
+				return end, next
 			}
-			c.Write(ctl, tileCursorSlot, int64(end))
-			return self
+			return end, self
+		}
+		if b.prog != nil {
+			tokC := b.img.Dev.SectionToken(p.layer, mcu.PhaseControl)
+			tokK := b.img.Dev.SectionToken(p.layer, mcu.PhaseKernel)
+			b.rt.Add(p.name, func(c *task.Ctx) task.ID {
+				dev := c.Dev()
+				dev.SetSectionTok(tokC)
+				base := int(c.Read(ctl, tileCursorSlot))
+				dev.SetSectionTok(tokK)
+				end, to := body(c, base)
+				dev.SetSectionTok(tokC)
+				if to != self {
+					c.Write(ctl, tileCursorSlot, 0) // reset for next pass
+				} else {
+					c.Write(ctl, tileCursorSlot, int64(end))
+				}
+				return to
+			})
+			continue
+		}
+		b.rt.Add(p.name, func(c *task.Ctx) task.ID {
+			dev := c.Dev()
+			dev.SetSection(p.layer, mcu.PhaseControl)
+			base := int(c.Read(ctl, tileCursorSlot))
+			dev.SetSection(p.layer, mcu.PhaseKernel)
+			end, to := body(c, base)
+			dev.SetSection(p.layer, mcu.PhaseControl)
+			if to != self {
+				c.Write(ctl, tileCursorSlot, 0) // reset for next pass
+			} else {
+				c.Write(ctl, tileCursorSlot, int64(end))
+			}
+			return to
 		})
 	}
 	return parity, nil
@@ -240,7 +289,7 @@ func (b *tileBuilder) build() (bool, error) {
 // accumulate — "a[i] += b[i] × c" exactly as in the paper's Fig. 6 — on
 // the task-shared partial buffer, so every iteration pays privatization.
 func (b *tileBuilder) convPasses(addPass addPassFn,
-	l *core.LayerImage, layer string, src, dst *mem.Region) {
+	l *core.LayerImage, li int, layer string, src, dst *mem.Region) {
 	q := l.Q
 	h, w := q.InShape[1], q.InShape[2]
 	oh, ow := q.OutShape[1], q.OutShape[2]
@@ -252,31 +301,35 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 		elems = l.NZ.Len()
 	}
 
-	// Host-side decode memos, built once per layer: per weight index the
-	// unpacked filter coordinates folded into base offsets, per output
-	// position its row-major input offset. They replace the div/mod chains
-	// the kernel closure would otherwise recompute on every MAC; the
-	// simulated op stream is unchanged.
-	type wDecode struct {
-		srcBase int32 // (ci*h+ky)*w + kx
-		accBase int32 // f * positions
-		first   bool  // first element of its filter (dense layout)
-	}
-	wTab := make([]wDecode, l.W.Len())
-	for widx := range wTab {
-		kx := widx % q.KW
-		ky := (widx / q.KW) % q.KH
-		ci := (widx / (q.KW * q.KH)) % q.C
-		f := widx / elemsPerFilter
-		wTab[widx] = wDecode{
-			srcBase: int32((ci*h+ky)*w + kx),
-			accBase: int32(f * positions),
-			first:   widx%elemsPerFilter == 0,
+	// Host-side decode memos: per weight index the unpacked filter
+	// coordinates folded into base offsets, per output position its
+	// row-major input offset. They replace the div/mod chains the kernel
+	// closure would otherwise recompute on every MAC; the simulated op
+	// stream is unchanged. With a compiled program the tables come
+	// pre-built (the same formulas, computed once per process); otherwise
+	// they are rebuilt here on every inference.
+	var wSrc, wAcc []int32
+	var wFirst []bool // dense layout only: indexed by widx == walked pos
+	var posTab []int32
+	if tl := b.layerTape(li); tl != nil {
+		wSrc, wAcc, wFirst, posTab = tl.WSrc, tl.WAccBase, tl.First, tl.PosOff
+	} else {
+		wSrc = make([]int32, l.W.Len())
+		wAcc = make([]int32, l.W.Len())
+		wFirst = make([]bool, l.W.Len())
+		for widx := range wSrc {
+			kx := widx % q.KW
+			ky := (widx / q.KW) % q.KH
+			ci := (widx / (q.KW * q.KH)) % q.C
+			f := widx / elemsPerFilter
+			wSrc[widx] = int32((ci*h+ky)*w + kx)
+			wAcc[widx] = int32(f * positions)
+			wFirst[widx] = widx%elemsPerFilter == 0
 		}
-	}
-	posTab := make([]int32, positions)
-	for i := range posTab {
-		posTab[i] = int32((i/ow)*w + i%ow)
+		posTab = make([]int32, positions)
+		for i := range posTab {
+			posTab[i] = int32((i/ow)*w + i%ow)
+		}
 	}
 
 	// apply performs one MAC: filter element `e` at output position `i`.
@@ -286,12 +339,11 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 		if l.NZ != nil {
 			widx = int(dev.Load(l.NZ, e))
 		}
-		wd := wTab[widx]
-		first := l.NZ == nil && wd.first
+		first := l.NZ == nil && wFirst[widx]
 		wv := fixed.Q15(dev.Load(l.W, widx))
-		x := fixed.Q15(dev.Load(src, int(wd.srcBase)+int(posTab[i])))
+		x := fixed.Q15(dev.Load(src, int(wSrc[widx])+int(posTab[i])))
 		dev.Op(mcu.OpFixedMul)
-		pos := int(wd.accBase) + i
+		pos := int(wAcc[widx]) + i
 		var a fixed.Acc
 		if !first {
 			a = fixed.Acc(c.Read(acc, pos))
@@ -342,8 +394,8 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 				if m := ow - i0%ow; m < n {
 					n = m // one output row: contiguous source loads
 				}
-				wd := wTab[e]
-				pos0 := int(wd.accBase) + i0
+				first := wFirst[e]
+				pos0 := int(wAcc[e]) + i0
 				if n < minBulk || !c.Fresh(acc, pos0, n) {
 					for j := 0; j < n; j++ {
 						accIter(c, lo+j)
@@ -357,17 +409,17 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 				// later written, which deployed weights never are.
 				dev.Ops(wKind, n)
 				wv := fixed.Q15(l.W.Get(e))
-				srcStart := int(wd.srcBase) + int(posTab[i0])
+				srcStart := int(wSrc[e]) + int(posTab[i0])
 				dev.LoadRange(src, srcStart, n)
 				dev.Ops(mcu.OpFixedMul, n)
-				if !wd.first {
+				if !first {
 					c.ReadRange(acc, pos0, n) // fresh, so it cannot decline
 					dev.Ops(mcu.OpFixedAdd, n)
 				}
 				for j := 0; j < n; j++ {
 					x := fixed.Q15(src.Get(srcStart + j))
 					var a fixed.Acc
-					if !wd.first {
+					if !first {
 						a = fixed.Acc(acc.Get(pos0 + j))
 					}
 					vals[j] = int64(a.MAC(wv, x))
@@ -563,21 +615,34 @@ func sparseRowOf(dev *mcu.Device, l *core.LayerImage, p, rows int) int {
 	return lo
 }
 
-// poolPass emits the pooling pass: one output element per iteration.
+// poolPass emits the pooling pass: one output element per iteration. With
+// a compiled program the window-origin decode comes from the PoolBase
+// table instead of the per-iteration div/mod chain.
 func (b *tileBuilder) poolPass(addPass addPassFn,
-	q *dnn.QuantLayer, layer string, src, dst *mem.Region) {
+	q *dnn.QuantLayer, li int, layer string, src, dst *mem.Region) {
 	c0, h, w := q.InShape[0], q.InShape[1], q.InShape[2]
 	oh, ow := h/q.Window, w/q.Window
+	var poolBase []int32
+	if tl := b.layerTape(li); tl != nil {
+		poolBase = tl.PoolBase
+	}
 	addPass("pool", layer, c0*oh*ow, func(c *task.Ctx, i int) {
 		dev := c.Dev()
-		ox := i % ow
-		oy := (i / ow) % oh
-		ci := i / (ow * oh)
+		var origin int
+		if poolBase != nil {
+			origin = int(poolBase[i])
+		} else {
+			ox := i % ow
+			oy := (i / ow) % oh
+			ci := i / (ow * oh)
+			origin = (ci*h+oy*q.Window)*w + ox*q.Window
+		}
 		best := fixed.MinusOne
 		for ky := 0; ky < q.Window; ky++ {
+			rowStart := origin + ky*w
 			for kx := 0; kx < q.Window; kx++ {
 				dev.Op(mcu.OpBranch)
-				v := fixed.Q15(dev.Load(src, (ci*h+oy*q.Window+ky)*w+ox*q.Window+kx))
+				v := fixed.Q15(dev.Load(src, rowStart+kx))
 				best = fixed.Max(best, v)
 			}
 		}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dnn"
 	"repro/internal/fixed"
@@ -69,6 +70,33 @@ type Image struct {
 // CtlWords is the size of the shared NV control block.
 const CtlWords = 32
 
+// regionNames holds one layer's FRAM region labels. They depend only on
+// the model, so fleet campaigns deploying the same network onto thousands
+// of devices format them once instead of once per device.
+type regionNames struct {
+	W, B, NZ, Cols, RowPtr, FinPar string
+}
+
+// deployNames memoizes per-model region labels, keyed by model pointer
+// like the op-tape program cache.
+var deployNames sync.Map // *dnn.QuantModel -> []regionNames
+
+func namesFor(qm *dnn.QuantModel) []regionNames {
+	if v, ok := deployNames.Load(qm); ok {
+		return v.([]regionNames)
+	}
+	names := make([]regionNames, len(qm.Layers))
+	for i := range qm.Layers {
+		pfx := fmt.Sprintf("L%d.%s", i, qm.Layers[i].Kind)
+		names[i] = regionNames{
+			W: pfx + ".W", B: pfx + ".B", NZ: pfx + ".NZ",
+			Cols: pfx + ".Cols", RowPtr: pfx + ".RowPtr", FinPar: pfx + ".FinPar",
+		}
+	}
+	v, _ := deployNames.LoadOrStore(qm, names)
+	return v.([]regionNames)
+}
+
 // Deploy places a quantized model into the device's FRAM, allocating weight
 // regions and working buffers. It fails if the model does not fit — the
 // feasibility condition of GENESIS (§5.2).
@@ -98,23 +126,24 @@ func Deploy(dev *mcu.Device, qm *dnn.QuantModel) (*Image, error) {
 	}
 
 	var err error
+	names := namesFor(qm)
 	for i := range qm.Layers {
 		ql := &qm.Layers[i]
 		li := LayerImage{Q: ql}
-		pfx := fmt.Sprintf("L%d.%s", i, ql.Kind)
-		if li.W, err = alloc(pfx+".W", len(ql.W), 2); err != nil {
+		nm := &names[i]
+		if li.W, err = alloc(nm.W, len(ql.W), 2); err != nil {
 			return nil, err
 		}
-		if li.B, err = alloc(pfx+".B", len(ql.B), 2); err != nil {
+		if li.B, err = alloc(nm.B, len(ql.B), 2); err != nil {
 			return nil, err
 		}
-		if li.NZ, err = alloc(pfx+".NZ", len(ql.NZ), 2); err != nil {
+		if li.NZ, err = alloc(nm.NZ, len(ql.NZ), 2); err != nil {
 			return nil, err
 		}
-		if li.Cols, err = alloc(pfx+".Cols", len(ql.Cols), 2); err != nil {
+		if li.Cols, err = alloc(nm.Cols, len(ql.Cols), 2); err != nil {
 			return nil, err
 		}
-		if li.RowPtr, err = alloc(pfx+".RowPtr", len(ql.RowPtr), 2); err != nil {
+		if li.RowPtr, err = alloc(nm.RowPtr, len(ql.RowPtr), 2); err != nil {
 			return nil, err
 		}
 		// Host-side initialization: flashing the image is deploy-time work
@@ -135,7 +164,7 @@ func Deploy(dev *mcu.Device, qm *dnn.QuantModel) (*Image, error) {
 			li.RowPtr.Put(j, int64(r))
 		}
 		if ql.Kind == dnn.QConv && ql.NZ != nil {
-			if li.FinPar, err = alloc(pfx+".FinPar", ql.F, 2); err != nil {
+			if li.FinPar, err = alloc(nm.FinPar, ql.F, 2); err != nil {
 				return nil, err
 			}
 			epf := ql.C * ql.KH * ql.KW
@@ -260,21 +289,30 @@ type Resumer interface {
 // numbered "conv1", "conv2", ...; fully-connected layers (dense or sparse)
 // are "fc"; everything else is "other".
 func LayerName(qm *dnn.QuantModel, li int) string {
+	if v, ok := layerNames.Load(qm); ok {
+		return v.([]string)[li]
+	}
+	names := make([]string, len(qm.Layers))
 	conv := 0
-	for i := 0; i <= li && i < len(qm.Layers); i++ {
-		if qm.Layers[i].Kind == dnn.QConv {
+	for i := range qm.Layers {
+		switch qm.Layers[i].Kind {
+		case dnn.QConv:
 			conv++
+			names[i] = fmt.Sprintf("conv%d", conv)
+		case dnn.QDense, dnn.QSparseDense:
+			names[i] = "fc"
+		default:
+			names[i] = "other"
 		}
 	}
-	switch qm.Layers[li].Kind {
-	case dnn.QConv:
-		return fmt.Sprintf("conv%d", conv)
-	case dnn.QDense, dnn.QSparseDense:
-		return "fc"
-	default:
-		return "other"
-	}
+	v, _ := layerNames.LoadOrStore(qm, names)
+	return v.([]string)[li]
 }
+
+// layerNames memoizes the per-model section labels; like deployNames the
+// labels are pure functions of the model, and runtimes ask for them on
+// every inference.
+var layerNames sync.Map // *dnn.QuantModel -> []string
 
 // Argmax returns the index of the largest logit.
 func Argmax(logits []fixed.Q15) int {

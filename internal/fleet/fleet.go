@@ -222,7 +222,7 @@ func NewCampaign(spec Spec, models map[string]Model) (*Campaign, error) {
 	}
 	c := &Campaign{spec: spec, models: models, rts: make(map[string]core.Runtime)}
 	for _, name := range spec.Runtimes {
-		rt, err := RuntimeByName(name)
+		rt, err := RuntimeByNameTape(name, spec.Tape)
 		if err != nil {
 			return nil, err
 		}

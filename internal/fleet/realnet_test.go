@@ -1,0 +1,72 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/fleet"
+	"repro/internal/harness"
+)
+
+// TestFleetRealNetworks sweeps a small fleet over the paper's three
+// evaluation networks (MNIST, HAR, OkGoogle in quick mode) instead of the
+// synthetic tiny model the other fleet tests use: the campaign engine must
+// handle real layer mixes (sparse convs, LEA tiles, pooling) through the
+// same Spec cross-product, and the op-tape campaign must reproduce the
+// interpreted campaign's aggregates bit-for-bit on them. CI runs this as
+// the real-network fleet smoke.
+func TestFleetRealNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network fleet sweep needs quick-mode GENESIS preparation")
+	}
+	prepped, err := harness.PrepareAll(harness.PrepareOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make(map[string]fleet.Model, len(prepped))
+	names := make([]string, 0, len(prepped))
+	for _, p := range prepped {
+		models[p.Net] = fleet.Model{Net: p.Net, QM: p.Model, Input: p.Model.QuantizeInput(p.Input)}
+		names = append(names, p.Net)
+	}
+	spec := fleet.Spec{
+		Devices:  36, // two full model × runtime × power cross-products
+		Seed:     1,
+		Models:   names,
+		Runtimes: []string{"tile-32", "sonic", "tails"},
+		Powers: []fleet.PowerClass{
+			{Name: "rf-100uF", SystemSpec: energy.SystemSpec{Kind: "const", CapFarads: 100e-6}},
+			{Name: "cont", SystemSpec: energy.SystemSpec{Kind: "cont"}},
+		},
+	}
+	interp, err := fleet.Run(context.Background(), spec, models, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.Done != spec.Devices {
+		t.Fatalf("swept %d of %d devices", interp.Done, spec.Devices)
+	}
+	sum := interp.Agg.Summary()
+	if sum.Completed == 0 {
+		t.Fatal("no device completed an inference on the real networks")
+	}
+
+	tapeSpec := spec
+	tapeSpec.Tape = true
+	tape, err := fleet.Run(context.Background(), tapeSpec, models, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tape.Agg.Summary(), sum) {
+		a, _ := json.Marshal(sum)
+		b, _ := json.Marshal(tape.Agg.Summary())
+		t.Fatalf("tape fleet aggregates diverge on real networks:\ninterp %s\ntape   %s", a, b)
+	}
+	if !reflect.DeepEqual(tape.Agg.IMpJ.Centroids(), interp.Agg.IMpJ.Centroids()) ||
+		!reflect.DeepEqual(tape.Agg.RebootHist.Counts(), interp.Agg.RebootHist.Counts()) {
+		t.Fatal("tape fleet sketches/histograms diverge on real networks")
+	}
+}

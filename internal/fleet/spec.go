@@ -64,6 +64,11 @@ type Spec struct {
 	// affects sketch compression points, so changing it may change
 	// aggregate bits (never their statistical meaning).
 	Shards int `json:"shards,omitempty"`
+	// Tape selects the pre-decoded op-tape executors for every runtime of
+	// the campaign. The tape path is bit-exact with the interpreted walk
+	// (see TestTapeInterpreterDifferential), so it does not participate in
+	// the content hash: the same results, just faster.
+	Tape bool `json:"tape,omitempty"`
 }
 
 // DefaultShards is the logical shard count campaigns default to — enough
@@ -156,10 +161,19 @@ func (s *Spec) Validate(models map[string]Model) error {
 // aggregation grouping). Identical specs hash identically, which is what
 // lets the serving front-end answer duplicate jobs from cache without
 // re-running a single device.
+//
+// Shards is hashed in its *normalized* form (shardCount): a spec with
+// Shards:0 and one with Shards:DefaultShards run the identical campaign,
+// as does any over-count clamped down to Devices, so they must share a
+// content address or the serve path re-simulates whole fleets for
+// spellings of the same job.
 func (s *Spec) Hash() string {
 	// Struct JSON field order is declaration order and the spec contains
 	// no maps, so the encoding is canonical.
-	buf, err := json.Marshal(s)
+	norm := *s
+	norm.Shards = s.shardCount()
+	norm.Tape = false // executor choice, not campaign identity
+	buf, err := json.Marshal(&norm)
 	if err != nil {
 		panic("fleet: spec does not marshal: " + err.Error())
 	}
@@ -179,25 +193,43 @@ type Model struct {
 // RuntimeByName resolves a runtime name to a fresh instance: the fixed
 // Fig. 9 set plus parameterized "tile-N" and "ckpt-N" forms.
 func RuntimeByName(name string) (core.Runtime, error) {
+	return RuntimeByNameTape(name, false)
+}
+
+// RuntimeByNameTape is RuntimeByName with the pre-decoded op-tape
+// executor selected: every resolved runtime gets its Tape knob set, so a
+// whole fleet can A/B the tape against the interpreted walk from one
+// spec field.
+func RuntimeByNameTape(name string, tape bool) (core.Runtime, error) {
 	switch name {
 	case "base":
-		return baseline.Base{}, nil
+		return baseline.Base{Tape: tape}, nil
 	case "sonic":
-		return sonic.SONIC{}, nil
+		return sonic.SONIC{Tape: tape}, nil
 	case "tails":
-		return tails.TAILS{}, nil
+		return tails.TAILS{Tape: tape}, nil
 	}
+	// A malformed parameter on a recognized "tile-"/"ckpt-" prefix is not
+	// an unknown runtime: report what is actually wrong with it.
 	if n, ok := strings.CutPrefix(name, "tile-"); ok {
 		size, err := strconv.Atoi(n)
-		if err == nil && size > 0 {
-			return baseline.Tile{TileSize: size}, nil
+		if err != nil {
+			return nil, fmt.Errorf("fleet: runtime %q: tile size %q is not a number", name, n)
 		}
+		if size <= 0 {
+			return nil, fmt.Errorf("fleet: runtime %q: tile size must be positive, got %d", name, size)
+		}
+		return baseline.Tile{TileSize: size, Tape: tape}, nil
 	}
 	if n, ok := strings.CutPrefix(name, "ckpt-"); ok {
 		iv, err := strconv.Atoi(n)
-		if err == nil && iv > 0 {
-			return checkpoint.Checkpoint{Interval: iv}, nil
+		if err != nil {
+			return nil, fmt.Errorf("fleet: runtime %q: checkpoint interval %q is not a number", name, n)
 		}
+		if iv <= 0 {
+			return nil, fmt.Errorf("fleet: runtime %q: checkpoint interval must be positive, got %d", name, iv)
+		}
+		return checkpoint.Checkpoint{Interval: iv, Tape: tape}, nil
 	}
 	return nil, fmt.Errorf("fleet: unknown runtime %q", name)
 }

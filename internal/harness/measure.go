@@ -15,31 +15,45 @@ import (
 	"repro/internal/trace"
 )
 
-// PowerSpec names a power system and builds fresh instances of it. Seed
-// feeds the harvester RNG of stochastic systems; deterministic systems
-// ignore it, so the zero value is fine for the paper's RF bank.
+// PowerSpec names a power system and builds fresh instances of it. The
+// declarative energy.SystemSpec is the single source of truth for what
+// the system is — the same vocabulary fleet campaigns and the serving API
+// use — so the Fig. 9 harness, the CLIs, and fleet specs can no longer
+// drift apart on capacitor sizes or harvester parameters. Seed feeds the
+// harvester RNG of stochastic systems; deterministic systems ignore it,
+// so the zero value is fine for the paper's RF bank.
 type PowerSpec struct {
 	Name string
 	Seed uint64
-	New  func(seed uint64) energy.System
+	// Spec declares the power system (capacitor, harvester class, params).
+	Spec energy.SystemSpec
+	// New, when non-nil, overrides Spec for systems the declarative
+	// vocabulary cannot express — e.g. test-only fault injectors.
+	New func(seed uint64) energy.System
 }
 
 // Make builds a fresh instance of the power system from the spec's seed.
-func (p PowerSpec) Make() energy.System { return p.New(p.Seed) }
+func (p PowerSpec) Make() energy.System {
+	if p.New != nil {
+		return p.New(p.Seed)
+	}
+	sys, err := p.Spec.New(p.Seed)
+	if err != nil {
+		// Powers()/StochasticPowers() only hand out valid specs; a bad
+		// hand-rolled spec is a programming error, not a runtime condition.
+		panic("harness: power spec " + p.Name + ": " + err.Error())
+	}
+	return sys
+}
 
 // Powers returns the paper's four power systems (§8): continuous, and RF
 // harvesting with 50 mF, 1 mF, and 100 µF capacitor banks.
 func Powers() []PowerSpec {
-	rf := func(c energy.Capacitor) func(uint64) energy.System {
-		return func(uint64) energy.System {
-			return energy.NewIntermittent(c, energy.ConstantHarvester{Watts: energy.DefaultRFWatts})
-		}
-	}
 	return []PowerSpec{
-		{Name: "cont", New: func(uint64) energy.System { return energy.Continuous{} }},
-		{Name: "50mF", New: rf(energy.Cap50mF)},
-		{Name: "1mF", New: rf(energy.Cap1mF)},
-		{Name: "100uF", New: rf(energy.Cap100uF)},
+		{Name: "cont", Spec: energy.SystemSpec{Kind: "cont"}},
+		{Name: "50mF", Spec: energy.SystemSpec{Kind: "const", CapFarads: 50e-3}},
+		{Name: "1mF", Spec: energy.SystemSpec{Kind: "const", CapFarads: 1e-3}},
+		{Name: "100uF", Spec: energy.SystemSpec{Kind: "const", CapFarads: 100e-6}},
 	}
 }
 
@@ -49,17 +63,10 @@ func Powers() []PowerSpec {
 // harvester on the 100 µF and 1 mF banks, and a diurnal solar harvester
 // on the 100 µF bank.
 func StochasticPowers(seed uint64) []PowerSpec {
-	stoch := func(c energy.Capacitor) func(uint64) energy.System {
-		return func(s uint64) energy.System {
-			return energy.NewIntermittent(c, energy.NewStochasticHarvester(energy.DefaultRFWatts, 0.4, s))
-		}
-	}
 	return []PowerSpec{
-		{Name: "stoch-100uF", Seed: seed, New: stoch(energy.Cap100uF)},
-		{Name: "stoch-1mF", Seed: seed, New: stoch(energy.Cap1mF)},
-		{Name: "solar-100uF", Seed: seed, New: func(s uint64) energy.System {
-			return energy.NewIntermittent(energy.Cap100uF, energy.NewSolarHarvester(5e-3, s))
-		}},
+		{Name: "stoch-100uF", Seed: seed, Spec: energy.SystemSpec{Kind: "stoch", CapFarads: 100e-6}},
+		{Name: "stoch-1mF", Seed: seed, Spec: energy.SystemSpec{Kind: "stoch", CapFarads: 1e-3}},
+		{Name: "solar-100uF", Seed: seed, Spec: energy.SystemSpec{Kind: "solar", CapFarads: 100e-6, Watts: 5e-3}},
 	}
 }
 
@@ -73,6 +80,20 @@ func Runtimes() []core.Runtime {
 		baseline.Tile{TileSize: 128},
 		sonic.SONIC{},
 		tails.TAILS{},
+	}
+}
+
+// TapeRuntimes returns the same six implementations with the pre-decoded
+// op-tape executors selected: bit-identical results (enforced by
+// TestTapeInterpreterDifferential), faster host simulation.
+func TapeRuntimes() []core.Runtime {
+	return []core.Runtime{
+		baseline.Base{Tape: true},
+		baseline.Tile{TileSize: 8, Tape: true},
+		baseline.Tile{TileSize: 32, Tape: true},
+		baseline.Tile{TileSize: 128, Tape: true},
+		sonic.SONIC{Tape: true},
+		tails.TAILS{Tape: true},
 	}
 }
 

@@ -12,20 +12,37 @@ import (
 	"repro/internal/tails"
 )
 
+// forkRuntime pairs a runtime with an explicit subtest label: the tape
+// variants share Name() with their interpreted twins (the executor is not
+// part of the runtime's identity), so the label disambiguates.
+type forkRuntime struct {
+	label string
+	rt    core.Runtime
+}
+
 // forkRuntimes is every runtime the fork oracle must cover: the six Fig. 9
 // implementations, the checkpoint baseline, and the deliberately unsafe
 // negative control — whose corrupted verdicts must survive forking
-// bit-for-bit just as faithfully as the clean runtimes' verdicts do.
-func forkRuntimes() []core.Runtime {
-	return []core.Runtime{
-		baseline.Base{},
-		baseline.Tile{TileSize: 8},
-		baseline.Tile{TileSize: 32},
-		baseline.Tile{TileSize: 128},
-		sonic.SONIC{},
-		tails.TAILS{},
-		checkpoint.Checkpoint{Interval: 8},
-		Broken{},
+// bit-for-bit just as faithfully as the clean runtimes' verdicts do — plus
+// the op-tape variant of each real runtime, so journal/snapshot forking is
+// proven against both executors.
+func forkRuntimes() []forkRuntime {
+	return []forkRuntime{
+		{"base", baseline.Base{}},
+		{"base-tape", baseline.Base{Tape: true}},
+		{"tile-8", baseline.Tile{TileSize: 8}},
+		{"tile-8-tape", baseline.Tile{TileSize: 8, Tape: true}},
+		{"tile-32", baseline.Tile{TileSize: 32}},
+		{"tile-32-tape", baseline.Tile{TileSize: 32, Tape: true}},
+		{"tile-128", baseline.Tile{TileSize: 128}},
+		{"tile-128-tape", baseline.Tile{TileSize: 128, Tape: true}},
+		{"sonic", sonic.SONIC{}},
+		{"sonic-tape", sonic.SONIC{Tape: true}},
+		{"tails", tails.TAILS{}},
+		{"tails-tape", tails.TAILS{Tape: true}},
+		{"ckpt-8", checkpoint.Checkpoint{Interval: 8}},
+		{"ckpt-8-tape", checkpoint.Checkpoint{Interval: 8, Tape: true}},
+		{"broken", Broken{}},
 	}
 }
 
@@ -80,9 +97,9 @@ func diffResults(t *testing.T, label string, want, got *ScheduleResult) bool {
 // per-runtime PASS lines.
 func TestForkDifferentialOracle(t *testing.T) {
 	qm, x := TinyModel(1)
-	for _, rt := range forkRuntimes() {
-		rt := rt
-		t.Run(rt.Name(), func(t *testing.T) {
+	for _, fr := range forkRuntimes() {
+		rt, label := fr.rt, fr.label
+		t.Run(label, func(t *testing.T) {
 			t.Parallel()
 			scratch, err := NewCheckerOpt(qm, x, rt, Options{CheckWAR: true, ForceScratch: true})
 			if err != nil {
@@ -98,7 +115,7 @@ func TestForkDifferentialOracle(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !forked.Forks() {
-				t.Fatalf("%s does not fork: journal unavailable (Resumer regression?)", rt.Name())
+				t.Fatalf("%s does not fork: journal unavailable (Resumer regression?)", label)
 			}
 			if forked.TotalOps() != scratch.TotalOps() {
 				t.Fatalf("golden op counts differ: fork=%d scratch=%d",
@@ -119,7 +136,7 @@ func TestForkDifferentialOracle(t *testing.T) {
 				if b < 1 || b > total {
 					continue
 				}
-				if !diffResults(t, rt.Name()+" single", scratch.Check([]int{b}), forked.Check([]int{b})) {
+				if !diffResults(t, label+" single", scratch.Check([]int{b}), forked.Check([]int{b})) {
 					if bad++; bad >= 3 {
 						t.Fatal("too many divergences; stopping early")
 					}
@@ -136,7 +153,7 @@ func TestForkDifferentialOracle(t *testing.T) {
 				{total, 7},
 				{mid, 1, 1, 1, 1, 1, 1, 1}, // immediate refailures: DNC parity
 			} {
-				if !diffResults(t, rt.Name()+" multi", scratch.Check(gaps), forked.Check(gaps)) {
+				if !diffResults(t, label+" multi", scratch.Check(gaps), forked.Check(gaps)) {
 					if bad++; bad >= 3 {
 						t.Fatal("too many divergences; stopping early")
 					}

@@ -127,12 +127,22 @@ type Device struct {
 	section  Section
 	secStats *SectionStats
 
-	// prevSec/prevSecStats remember the previously attributed section.
-	// Runtimes flip between a layer's kernel and control/transition phases
-	// once or twice per loop iteration, so a two-entry cache turns almost
-	// every SetSection into a pointer swap instead of a map lookup.
-	prevSec      Section
-	prevSecStats *SectionStats
+	// memoLayer/memoStats cache the resolved SectionStats for every phase
+	// of the layer currently being attributed. Runtimes rotate through a
+	// layer's kernel, control, and transition phases on every loop
+	// iteration (the task runtime adds the transition phase, so a
+	// two-entry cache thrashes), and a per-phase array turns each
+	// SetSection inside a layer into an index load instead of a hashed
+	// map lookup. Misses fall back to — and refill from — stats.Sections.
+	memoLayer string
+	memoStats [numMemoPhases]*SectionStats
+
+	// toks holds the pre-resolved section handles handed out by
+	// SectionToken; statsGen invalidates their cached stats pointers
+	// whenever stats.Sections is replaced wholesale (ResetStats, snapshot
+	// restore, fork prefix restore).
+	toks     []tokEntry
+	statsGen uint32
 
 	// costPJ caches the cost model's energies in integer picojoules, the
 	// unit Stats accumulates in (see SectionStats). Refreshed from Cost by
@@ -266,7 +276,8 @@ func (d *Device) ResetStats() {
 	d.opsInRegion = 0
 	d.opsTotal = 0
 	d.secStats = nil // force SetSection to re-resolve into the fresh map
-	d.prevSec, d.prevSecStats = Section{}, nil
+	d.memoLayer, d.memoStats = "", [numMemoPhases]*SectionStats{}
+	d.statsGen++
 	d.SetSection("boot", PhaseControl)
 }
 
@@ -286,10 +297,14 @@ func (d *Device) SetSection(layer string, phase Phase) {
 		}
 		d.emit(TraceLayerBegin, layer, 0)
 	}
-	prev, prevStats := d.section, d.secStats
 	d.section = sec
-	if sec == d.prevSec && d.prevSecStats != nil {
-		d.secStats = d.prevSecStats
+	pi := phaseMemoIndex(phase)
+	if layer != d.memoLayer && pi >= 0 {
+		d.memoLayer = layer
+		d.memoStats = [numMemoPhases]*SectionStats{}
+	}
+	if pi >= 0 && d.memoStats[pi] != nil {
+		d.secStats = d.memoStats[pi]
 	} else {
 		ss, ok := d.stats.Sections[sec]
 		if !ok {
@@ -297,15 +312,111 @@ func (d *Device) SetSection(layer string, phase Phase) {
 			d.stats.Sections[sec] = ss
 		}
 		d.secStats = ss
+		if pi >= 0 {
+			d.memoStats[pi] = ss
+		}
 	}
-	d.prevSec, d.prevSecStats = prev, prevStats
 	if j := d.journal; j != nil {
 		j.onSection(sec)
 	}
 }
 
+// numMemoPhases sizes the per-layer phase memo: the three named phases.
+const numMemoPhases = 3
+
+// phaseMemoIndex maps the named phases to memo slots; unknown phases
+// return -1 and resolve through the section map on every call.
+func phaseMemoIndex(p Phase) int {
+	switch p {
+	case PhaseKernel:
+		return 0
+	case PhaseControl:
+		return 1
+	case PhaseTransition:
+		return 2
+	}
+	return -1
+}
+
 // Section returns the current attribution label.
 func (d *Device) Section() (string, Phase) { return d.section.Layer, d.section.Phase }
+
+// SectionTok is a pre-resolved section handle. The op-tape executors flip
+// attribution twice per inner-loop iteration; resolving the (layer, phase)
+// pair once per layer and switching by token replaces the per-iteration
+// string construction and comparison with an index load. The accounting is
+// identical to SetSection's — tokens cache pointers into the same
+// stats.Sections entries — so the attributed Stats are bit-exact with the
+// interpreted walk's.
+type SectionTok int
+
+// tokEntry caches one token's resolved stats. gen guards against stats
+// replacement (ResetStats, snapshot restore): a stale entry re-resolves
+// into the live map on next use.
+type tokEntry struct {
+	sec   Section
+	stats *SectionStats
+	gen   uint32
+}
+
+// SectionToken registers a (layer, phase) pair and returns its handle.
+// Tokens are device-local (stats pointers are per-device) and cheap; the
+// tape executors resolve a layer's phases once per layer visit. The stats
+// entry is materialized lazily, on the first switch — exactly when
+// SetSection would create it — so a run that dies before ever entering the
+// section leaves the same Sections map the interpreted walk would.
+func (d *Device) SectionToken(layer string, phase Phase) SectionTok {
+	// Dedupe on (layer, phase): executors re-register on every layer visit
+	// (once per reboot attempt), and handing back the existing token keeps
+	// toks at two entries per section instead of growing — and reallocating
+	// — across a long intermittent run. The scan is over a handful of
+	// entries, and the layer names come from the per-model memo, so the
+	// string compare is almost always a pointer compare.
+	for i := range d.toks {
+		if d.toks[i].sec.Phase == phase && d.toks[i].sec.Layer == layer {
+			return SectionTok(i)
+		}
+	}
+	d.toks = append(d.toks, tokEntry{sec: Section{Layer: layer, Phase: phase}})
+	return SectionTok(len(d.toks) - 1)
+}
+
+// SetSectionTok is SetSection through a pre-resolved handle: the same
+// section change, layer-transition trace events, and journal record, with
+// the resolution amortized into SectionToken.
+func (d *Device) SetSectionTok(t SectionTok) {
+	e := &d.toks[t]
+	if e.sec == d.section && d.secStats != nil {
+		return
+	}
+	if d.tracer != nil && e.sec.Layer != d.section.Layer {
+		d.flushOpBatch()
+		if d.secStats != nil { // skip the end event for the initial boot section
+			d.emit(TraceLayerEnd, d.section.Layer, 0)
+		}
+		d.emit(TraceLayerBegin, e.sec.Layer, 0)
+	}
+	if e.stats == nil || e.gen != d.statsGen {
+		e.stats = d.resolveSection(e.sec)
+		e.gen = d.statsGen
+	}
+	d.section = e.sec
+	d.secStats = e.stats
+	if j := d.journal; j != nil {
+		j.onSection(e.sec)
+	}
+}
+
+// resolveSection returns the live SectionStats for sec, creating it on
+// first attribution exactly as SetSection does.
+func (d *Device) resolveSection(sec Section) *SectionStats {
+	ss, ok := d.stats.Sections[sec]
+	if !ok {
+		ss = &SectionStats{}
+		d.stats.Sections[sec] = ss
+	}
+	return ss
+}
 
 // Op charges one operation of kind k. If the energy buffer empties, the
 // operation does not take effect and the device browns out (panics with the

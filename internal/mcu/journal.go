@@ -363,7 +363,8 @@ func (j *Journal) RestorePrefix(fork *Device, b int64) error {
 
 	fork.stats = st
 	fork.secStats = nil
-	fork.prevSec, fork.prevSecStats = Section{}, nil
+	fork.memoLayer, fork.memoStats = "", [numMemoPhases]*SectionStats{}
+	fork.statsGen++
 	fork.SetSection(sec.Layer, sec.Phase)
 
 	// WAR verdicts: every violation funded within the prefix.

@@ -77,7 +77,8 @@ func (d *Device) Restore(s *DeviceSnapshot) error {
 	d.warCount = s.warCount
 	d.warViolations = append([]WARViolation(nil), s.warViolations...)
 	d.secStats = nil
-	d.prevSec, d.prevSecStats = Section{}, nil
+	d.memoLayer, d.memoStats = "", [numMemoPhases]*SectionStats{}
+	d.statsGen++
 	d.SetSection(s.section.Layer, s.section.Phase)
 	if d.shadow != nil && s.shadow != nil {
 		d.shadow.Restore(s.shadow)

@@ -174,6 +174,63 @@ func TestServeDuplicateSpecCacheHit(t *testing.T) {
 	}
 }
 
+// TestServeShardSpellingDedup is the regression for the Shards-default
+// dedup bug: a spec submitted with Shards unset and the same spec spelled
+// with Shards:DefaultShards run the identical campaign, so the second
+// submission must be answered from the first job's cache with zero
+// additional simulation — not re-run as a "different" fleet.
+func TestServeShardSpellingDedup(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	implicit := tinySpec(300) // Shards: 0 — defaulted
+	first, code := postSpec(t, ts, implicit)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	waitStatus(t, ts, first.ID, StatusDone)
+	before := s.Stats()
+	if before.CampaignsRun != 1 {
+		t.Fatalf("campaigns_run = %d after one unique spec, want 1", before.CampaignsRun)
+	}
+
+	explicit := tinySpec(300)
+	explicit.Shards = fleet.DefaultShards // same campaign, spelled out
+	dup, code := postSpec(t, ts, explicit)
+	if code != http.StatusOK {
+		t.Fatalf("explicit-shards duplicate status = %d, want 200 (cache hit)", code)
+	}
+	if dup.ID != first.ID || !dup.Deduped || dup.Status != StatusDone {
+		t.Fatalf("explicit-shards spec not served from original job: %+v", dup)
+	}
+	if dup.Agg == nil || dup.Agg.Devices != 300 {
+		t.Fatalf("cached answer missing aggregates: %+v", dup.Agg)
+	}
+	after := s.Stats()
+	if after.CampaignsRun != before.CampaignsRun || after.DevicesSimulated != before.DevicesSimulated {
+		t.Fatalf("shard spelling re-simulated the fleet: before=%+v after=%+v", before, after)
+	}
+
+	// The tape knob is an executor choice with proven-identical results;
+	// it must hit the same cache entry too.
+	taped := tinySpec(300)
+	taped.Tape = true
+	td, code := postSpec(t, ts, taped)
+	if code != http.StatusOK || td.ID != first.ID || !td.Deduped {
+		t.Fatalf("tape-flagged duplicate not served from cache: code=%d doc=%+v", code, td)
+	}
+	if got := s.Stats(); got.CampaignsRun != before.CampaignsRun {
+		t.Fatalf("tape knob re-simulated: %+v", got)
+	}
+
+	// A genuinely different shard grouping is NOT a duplicate.
+	other := tinySpec(300)
+	other.Shards = 32
+	od, code := postSpec(t, ts, other)
+	if code != http.StatusAccepted || od.ID == first.ID {
+		t.Fatalf("distinct shard count collided with cache: code=%d id=%s", code, od.ID)
+	}
+	waitStatus(t, ts, od.ID, StatusDone)
+}
+
 // TestServeModelReuseAcrossJobs proves harness.Prepared-style model reuse:
 // two jobs over the same model name trigger exactly one model build.
 func TestServeModelReuseAcrossJobs(t *testing.T) {

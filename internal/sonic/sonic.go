@@ -21,6 +21,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/mcu"
 	"repro/internal/mem"
+	"repro/internal/tape"
 )
 
 // SONIC is the software-only runtime. The zero value is the paper's
@@ -31,6 +32,11 @@ import (
 // unmodified activations between buffers").
 type SONIC struct {
 	SparseViaBuffering bool
+
+	// Tape selects the pre-decoded op-tape executor for the conv and
+	// pooling kernels (see TapeLayerFn). Bit-exact with the interpreted
+	// walk; it only changes host simulation speed.
+	Tape bool
 }
 
 // Name identifies the runtime.
@@ -93,7 +99,11 @@ func (s SONIC) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15,
 			return nil, err
 		}
 	}
-	if err := e.Dev.Run(func() { e.ResetVolatile(); e.Run(runLayerSONIC) }); err != nil {
+	var layerFn LayerFn = runLayerSONIC
+	if s.Tape {
+		layerFn = TapeLayerFn(tape.Get(img.Model))
+	}
+	if err := e.Dev.Run(func() { e.ResetVolatile(); e.Run(layerFn) }); err != nil {
 		return nil, err
 	}
 	e.Dev.FlushTrace()

@@ -1,0 +1,160 @@
+package sonic
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+	"repro/internal/tape"
+)
+
+// TapeLayerFn returns a LayerFn executing convolution and pooling layers
+// from the compiled program's pre-decoded tables — the layers whose
+// interpreted kernels pay a div/mod coordinate decode on every inner
+// iteration — and everything else through the software kernels, which are
+// already decode-free. The issued op stream (every charged load, section
+// switch, and cursor commit) is identical to runLayerSONIC's, so logits,
+// Stats, reboot placement, and WAR records are bit-exact
+// (TestTapeInterpreterDifferential, the fork oracle).
+//
+// Checkpointing runtimes reuse it unchanged: the checkpoint policy lives
+// in Exec.Every, not in the layer walk.
+func TapeLayerFn(p *tape.Program) LayerFn {
+	return func(s *Exec, li int, parity bool, start Cursor) {
+		l := &s.Img.Layers[li]
+		switch l.Q.Kind {
+		case dnn.QConv:
+			tl := &p.Layers[li]
+			src, dst := ActBufs(s.Img, parity)
+			s.Dev.SetSection(tl.Name, mcu.PhaseControl)
+			s.tapeConvLayer(l, tl, src, dst, start)
+		case dnn.QPool:
+			tl := &p.Layers[li]
+			src, dst := ActBufs(s.Img, parity)
+			s.Dev.SetSection(tl.Name, mcu.PhaseControl)
+			s.tapePoolLayer(l, tl, src, dst, start)
+		default:
+			s.RunLayerSoftware(li, parity, start)
+		}
+	}
+}
+
+// tapeConvLayer is convLayer with every coordinate decode read from the
+// program: the filter-element decode (kx/ky/ci/f) comes from WSrc and
+// WAccBase, the first-element-of-filter test from First, the inner
+// position decode (oy, ox) from PosOff, and the finalize filter decode
+// from FilterOf. The NZ boundary probe loads are still issued — they are
+// charged device work — but their values feed nothing the tables don't
+// already answer.
+func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.Region, start Cursor) {
+	q := l.Q
+	positions := tl.Positions
+	dev := s.Dev
+	// Hoist the tables into locals: dev.Load/Store are opaque calls, so
+	// slice reads through the tl pointer would reload the header (and
+	// re-bounds-check) on every inner iteration.
+	wSrc, wAcc, first, posOff, filterOf := tl.WSrc, tl.WAccBase, tl.First, tl.PosOff, tl.FilterOf
+	name := tl.Name
+	// Pre-resolve the layer's two attribution sections once: the inner loop
+	// flips kernel↔control per iteration, and a token switch is an index
+	// load where the string path rebuilds and compares a Section value.
+	tokK := dev.SectionToken(name, mcu.PhaseKernel)
+	tokC := dev.SectionToken(name, mcu.PhaseControl)
+
+	if start.Pass == 0 {
+		for pos := start.Pos; pos < tl.Elems; pos++ {
+			dev.SetSectionTok(tokC)
+			widx := pos
+			if l.NZ != nil {
+				widx = int(dev.Load(l.NZ, pos))
+				if pos > 0 {
+					dev.Load(l.NZ, pos-1) // boundary probe, pre-decoded into First
+				}
+			}
+			firstOfFilter := first[pos]
+			wv := fixed.Q15(dev.Load(l.W, widx))
+			srcBase := int(wSrc[widx])
+			base := int(wAcc[widx])
+			dest, inter := AccBufs(s.Img, pos)
+
+			iStart := 0
+			if pos == start.Pos {
+				iStart = start.I
+			}
+			for i := iStart; i < positions; i++ {
+				dev.SetSectionTok(tokK)
+				dev.Op(mcu.OpBranch)
+				x := fixed.Q15(dev.Load(src, srcBase+int(posOff[i])))
+				dev.Op(mcu.OpFixedMul)
+				var a fixed.Acc
+				if !firstOfFilter {
+					a = fixed.Acc(dev.Load(inter, base+i))
+					dev.Op(mcu.OpFixedAdd)
+				}
+				dev.Store(dest, base+i, int64(a.MAC(wv, x)))
+				dev.SetSectionTok(tokC)
+				s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos, I: i + 1})
+			}
+			s.Transition(name, Cursor{Layer: start.Layer, Pos: pos + 1})
+		}
+		start = Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(name, start)
+	}
+
+	s.MapLayerTok(tokK, tokC, start, q.F*positions, func(i int) {
+		f := int(filterOf[i])
+		var par int64
+		if l.FinPar != nil {
+			par = dev.Load(l.FinPar, f)
+		} else {
+			par = int64(((f+1)*tl.EPF - 1) & 1)
+		}
+		bq := fixed.Q15(dev.Load(l.B, f))
+		var a fixed.Acc
+		if par >= 0 {
+			final, _ := AccBufs(s.Img, int(par))
+			a = fixed.Acc(dev.Load(final, i))
+			dev.Op(mcu.OpFixedAdd)
+		}
+		dev.Store(dst, i, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+	})
+}
+
+// MapLayerTok is MapLayer with the per-iteration kernel/control section
+// flips going through pre-resolved tokens. The op stream (branch charge,
+// body, checkpoint) is identical to MapLayer's.
+func (s *Exec) MapLayerTok(tokK, tokC mcu.SectionTok, start Cursor, n int, body func(i int)) {
+	dev := s.Dev
+	for i := start.I; i < n; i++ {
+		dev.SetSectionTok(tokK)
+		dev.Op(mcu.OpBranch)
+		body(i)
+		dev.SetSectionTok(tokC)
+		s.Checkpoint(Cursor{Layer: start.Layer, Pass: start.Pass, I: i + 1})
+	}
+}
+
+// tapePoolLayer is RunLayerSoftware's pooling case with the window-origin
+// decode ((ci, oy, ox) from i — three div/mods per output) read from
+// PoolBase.
+func (s *Exec) tapePoolLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.Region, start Cursor) {
+	q := l.Q
+	w := q.InShape[2]
+	poolBase := tl.PoolBase
+	tokK := s.Dev.SectionToken(tl.Name, mcu.PhaseKernel)
+	tokC := s.Dev.SectionToken(tl.Name, mcu.PhaseControl)
+	s.MapLayerTok(tokK, tokC, start, len(poolBase), func(i int) {
+		rowStart := int(poolBase[i])
+		best := fixed.MinusOne
+		for ky := 0; ky < q.Window; ky++ {
+			for kx := 0; kx < q.Window; kx++ {
+				s.Dev.Op(mcu.OpBranch)
+				v := fixed.Q15(s.Dev.Load(src, rowStart+kx))
+				best = fixed.Max(best, v)
+			}
+			rowStart += w
+		}
+		s.Dev.Store(dst, i, int64(best))
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/mem"
 	"repro/internal/sonic"
+	"repro/internal/tape"
 )
 
 // TAILS is the accelerated runtime. The Software* flags emulate the
@@ -37,6 +38,11 @@ import (
 type TAILS struct {
 	SoftwareLEA bool // compute vector ops with CPU MACs instead of LEA
 	SoftwareDMA bool // move blocks with CPU load/store instead of DMA
+
+	// Tape selects the pre-decoded op-tape executors (see tapeLayerFn).
+	// Bit-exact with the interpreted walk; it only changes host
+	// simulation speed.
+	Tape bool
 }
 
 // Name identifies the runtime.
@@ -126,10 +132,14 @@ func (t TAILS) ResumeInfer(img *core.Image, atReboot func() error) ([]fixed.Q15,
 			return nil, err
 		}
 	}
+	layerFn := t.layerFn(sc)
+	if t.Tape {
+		layerFn = t.tapeLayerFn(sc, tape.Get(img.Model))
+	}
 	if err := dev.Run(func() {
 		s.ResetVolatile()
 		t.calibrate(s, sc)
-		s.Run(t.layerFn(sc))
+		s.Run(layerFn)
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,134 @@
+package tails
+
+import (
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/mem"
+	"repro/internal/sonic"
+	"repro/internal/tape"
+)
+
+// tapeLayerFn is layerFn executing from the compiled program: the LEA
+// convolution reads its row/generation decodes from tables, the dense
+// kernel (already decode-free) runs unchanged, and every software
+// fallback goes through sonic.TapeLayerFn — the same dispatch order as
+// the interpreted walk, issuing the identical op stream.
+func (t TAILS) tapeLayerFn(sc *scratch, p *tape.Program) sonic.LayerFn {
+	swFn := sonic.TapeLayerFn(p)
+	return func(s *sonic.Exec, li int, parity bool, start sonic.Cursor) {
+		l := &s.Img.Layers[li]
+		switch {
+		case l.Q.Kind == dnn.QConv && l.NZ == nil:
+			src, dst := sonic.ActBufs(s.Img, parity)
+			t.tapeConvLayer(s, sc, l, &p.Layers[li], src, dst, start)
+		case l.Q.Kind == dnn.QDense:
+			src, dst := sonic.ActBufs(s.Img, parity)
+			t.denseLayer(s, sc, l, p.Layers[li].Name, src, dst, start)
+		default:
+			swFn(s, li, parity, start)
+		}
+	}
+}
+
+// tapeConvLayer is convLayer with the per-iteration coordinate decodes
+// read from the program. The calibrated tile size — and therefore the
+// chunks-per-row count — is device state, not model state, so the inner
+// (row, chunk) split stays a live counter pair (one div/mod at resume,
+// increments after); the (f, oy) and (ci, ky) decodes and the derived
+// coefficient/input/accumulator offsets all come from the row and
+// generation tables.
+func (t TAILS) tapeConvLayer(s *sonic.Exec, sc *scratch, l *core.LayerImage, tl *tape.Layer,
+	src, dst *mem.Region, start sonic.Cursor) {
+	q := l.Q
+	dev := s.Dev
+	ow := q.OutShape[2]
+	gens := q.C * q.KH
+	rows := q.F * q.OutShape[1]
+	preShift := q.Shift
+	if preShift < 0 {
+		preShift = 0
+	}
+	postShift := -q.Shift
+	if postShift < 0 {
+		postShift = 0
+	}
+	ct := tile(s)
+	if ct > ow {
+		ct = ow
+	}
+	// Hoist the tables into locals so the chunk loop's opaque device calls
+	// don't force slice-header reloads through tl on every access.
+	rowAcc, rowSrcY, rowCoef := tl.RowAcc, tl.RowSrcY, tl.RowCoef
+	genSrcTab, genCoefTab, filterOf := tl.GenSrc, tl.GenCoef, tl.FilterOf
+	// Pre-resolve the layer's kernel/control sections: the chunk loop flips
+	// attribution up to six times per chunk.
+	tokK := dev.SectionToken(tl.Name, mcu.PhaseKernel)
+	tokC := dev.SectionToken(tl.Name, mcu.PhaseControl)
+
+	if start.Pass == 0 {
+		chunks := (ow + ct - 1) / ct
+		for pos := start.Pos; pos < gens; pos++ {
+			dev.SetSectionTok(tokC)
+			genSrc := int(genSrcTab[pos])
+			coefOff := int(genCoefTab[pos])
+			dest, inter := sonic.AccBufs(s.Img, pos)
+			iStart := 0
+			if pos == start.Pos {
+				iStart = start.I
+			}
+			row, ck := iStart/chunks, iStart%chunks
+			for i := iStart; i < rows*chunks; i++ {
+				c0 := ck * ct
+				n := ct
+				if c0+n > ow {
+					n = ow - c0
+				}
+				dev.SetSectionTok(tokC)
+				t.blockIn(dev, sc.coef, 0, l.W, int(rowCoef[row])+coefOff, q.KW)
+				rowBase := int(rowAcc[row])
+				t.blockIn(dev, sc.in, 0, src, genSrc+int(rowSrcY[row])+c0, n+q.KW-1)
+				preShiftRow(dev, sc.in, 0, n+q.KW-1, preShift)
+				dev.SetSectionTok(tokK)
+				t.fir(dev, sc.out, 0, sc.in, 0, sc.coef, 0, q.KW, n)
+				dev.SetSectionTok(tokC)
+				if pos > 0 {
+					t.blockIn(dev, sc.out, n, inter, rowBase+c0, n)
+					dev.SetSectionTok(tokK)
+					t.addv(dev, sc.out, 0, sc.out, 0, sc.out, n, n)
+					dev.SetSectionTok(tokC)
+				}
+				t.blockOut(dev, dest, rowBase+c0, sc.out, 0, n)
+				s.Checkpoint(sonic.Cursor{Layer: start.Layer, Pos: pos, I: i + 1})
+				if ck++; ck == chunks {
+					ck = 0
+					row++
+				}
+			}
+			s.Transition(tl.Name, sonic.Cursor{Layer: start.Layer, Pos: pos + 1})
+		}
+		start = sonic.Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(tl.Name, start)
+	}
+
+	final, _ := sonic.AccBufs(s.Img, gens-1)
+	s.MapLayerTok(tokK, tokC, start, q.F*q.OutShape[1]*ow, func(i int) {
+		f := int(filterOf[i])
+		v := fixed.Q15(dev.Load(final, i))
+		if postShift > 0 {
+			dev.Op(mcu.OpAdd)
+			wide := int64(v) << uint(postShift)
+			if wide > int64(fixed.One) {
+				v = fixed.One
+			} else if wide < int64(fixed.MinusOne) {
+				v = fixed.MinusOne
+			} else {
+				v = fixed.Q15(wide)
+			}
+		}
+		bq := shiftBias(dev, fixed.Q15(dev.Load(l.B, f)), q.Shift)
+		dev.Op(mcu.OpFixedAdd)
+		dev.Store(dst, i, int64(fixed.Add(v, bq)))
+	})
+}
