@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	bench                      # measure and write BENCH_PR6.json
+//	bench                      # measure and write BENCH_PR8.json
 //	bench -count 5 -out /tmp/b.json
 package main
 
@@ -36,6 +36,12 @@ import (
 // fast path (ad4056e), measured with -benchtime=1x on the reference
 // machine: 1.079 s per 72-cell matrix. The "before" of that PR's ≥3× goal.
 const preBulkFig9NsPerOp int64 = 1_079_000_000
+
+// pr7FleetTapeDevPerSec is the tape fleet sweep's throughput recorded in
+// BENCH_PR7.json on the reference machine (600 real-network devices, one
+// worker, per-device trace analysis still attached). The fused-kernel
+// PR's goal is >= 2x this absolute figure.
+const pr7FleetTapeDevPerSec float64 = 264.8
 
 // preForkCampaignNsPerOp is the full WAR-armed fuzz campaign at the commit
 // before snapshot-and-fork checking (8a0846c), recorded in BENCH_PR3.json
@@ -127,6 +133,28 @@ type report struct {
 		Identical            bool     `json:"identical"`
 		Iterations           int      `json:"iterations"`
 	} `json:"tape"`
+
+	// Kernels A/Bs the fused bulk-loop kernels against the scalar
+	// op-by-op path (Device.NoFuse) at fixed executor choice — both sides
+	// run the tape executors, so the ratio isolates the fused fast path
+	// alone. Same discipline as Tape: paired alternating min-of-K, and the
+	// speedup only counts on bit-identical results (every Fig. 9 cell, and
+	// the fleet summary byte-for-byte). FleetWorkers reports the fused
+	// tape fleet's devices/sec at 1 and 4 workers.
+	Kernels struct {
+		Fig9ScalarNsPerOp    int64        `json:"fig9_scalar_ns_per_op"`
+		Fig9FusedNsPerOp     int64        `json:"fig9_fused_ns_per_op"`
+		Fig9Speedup          float64      `json:"fig9_speedup"`
+		FleetDevices         int          `json:"fleet_devices"`
+		FleetNets            []string     `json:"fleet_nets"`
+		FleetScalarDevPerSec float64      `json:"fleet_scalar_devices_per_sec"`
+		FleetFusedDevPerSec  float64      `json:"fleet_fused_devices_per_sec"`
+		FleetSpeedup         float64      `json:"fleet_speedup"`
+		FleetWorkers         []fleetPoint `json:"fleet_workers"`
+		PR7FleetDevPerSec    float64      `json:"pr7_fleet_tape_devices_per_sec"`
+		Identical            bool         `json:"identical"`
+		Iterations           int          `json:"iterations"`
+	} `json:"kernels"`
 }
 
 type fleetPoint struct {
@@ -139,7 +167,7 @@ var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR7.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR8.json", "output JSON path")
 		count = flag.Int("count", 3, "timed iterations per workload")
 		seed  = flag.Uint64("seed", 1, "model seed")
 	)
@@ -456,6 +484,128 @@ func main() {
 	rep.Tape.FleetTapeDevPerSec = float64(realFleetDevices) / minFleetTape.Seconds()
 	rep.Tape.FleetSpeedup = float64(minFleetInterp) / float64(minFleetTape)
 
+	// Fused kernels vs scalar at fixed executor choice (tape on both
+	// sides): the Fig. 9 matrix through Measure vs MeasureScalar, and the
+	// real-network fleet with Spec.NoFuse flipped. Paired alternating
+	// min-of-K, bit-identical results required, as in the Tape section.
+	matrixMeasured := func(rts []core.Runtime, scalar bool) (time.Duration, []harness.RunResult) {
+		mfn := harness.Measure
+		if scalar {
+			mfn = harness.MeasureScalar
+		}
+		var results []harness.RunResult
+		start := time.Now()
+		for _, p := range prepped {
+			input := p.Model.QuantizeInput(p.Input)
+			for _, rt := range rts {
+				for _, pw := range harness.Powers() {
+					res, err := mfn(p.Net, p.Model, rt, pw, input)
+					if err != nil {
+						fail(err)
+					}
+					results = append(results, res)
+				}
+			}
+		}
+		return time.Since(start), results
+	}
+	fmt.Fprintf(os.Stderr, "bench: Fig. 9 matrix fused vs scalar (tape executors), paired × %d...\n", *count)
+	var minFig9Fused, minFig9Scalar time.Duration
+	for i := 0; i < *count; i++ {
+		dS, resS := matrixMeasured(harness.TapeRuntimes(), true)
+		dF, resF := matrixMeasured(harness.TapeRuntimes(), false)
+		if !reflect.DeepEqual(resS, resF) {
+			fail(fmt.Errorf("fused kernels changed Fig. 9 results — bit-exactness broken"))
+		}
+		if i == 0 || dS < minFig9Scalar {
+			minFig9Scalar = dS
+		}
+		if i == 0 || dF < minFig9Fused {
+			minFig9Fused = dF
+		}
+	}
+	rep.Kernels.Fig9ScalarNsPerOp = minFig9Scalar.Nanoseconds()
+	rep.Kernels.Fig9FusedNsPerOp = minFig9Fused.Nanoseconds()
+	rep.Kernels.Fig9Speedup = float64(minFig9Scalar) / float64(minFig9Fused)
+
+	scalarTapeSpec := tapeSpec
+	scalarTapeSpec.NoFuse = true
+	fmt.Fprintf(os.Stderr, "bench: fleet campaign fused vs scalar (%d real-network devices, 1 worker), paired × %d...\n",
+		realFleetDevices, *count)
+	var minFleetScalar, minFleetFused time.Duration
+	for i := 0; i < *count; i++ {
+		t0 := time.Now()
+		scalarFleet, err := fleet.Run(context.Background(), scalarTapeSpec, realModels, 1)
+		if err != nil {
+			fail(err)
+		}
+		dS := time.Since(t0)
+		t0 = time.Now()
+		fusedFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 1)
+		if err != nil {
+			fail(err)
+		}
+		dF := time.Since(t0)
+		scalarSum, err := json.Marshal(scalarFleet.Agg.Summary())
+		if err != nil {
+			fail(err)
+		}
+		fusedSum, err := json.Marshal(fusedFleet.Agg.Summary())
+		if err != nil {
+			fail(err)
+		}
+		if string(scalarSum) != string(realSummary) || string(fusedSum) != string(realSummary) {
+			fail(fmt.Errorf("fused fleet aggregates differ from the interpreted baseline"))
+		}
+		if i == 0 || dS < minFleetScalar {
+			minFleetScalar = dS
+		}
+		if i == 0 || dF < minFleetFused {
+			minFleetFused = dF
+		}
+	}
+	rep.Kernels.FleetDevices = realFleetDevices
+	rep.Kernels.FleetNets = realNets
+	rep.Kernels.FleetScalarDevPerSec = float64(realFleetDevices) / minFleetScalar.Seconds()
+	rep.Kernels.FleetFusedDevPerSec = float64(realFleetDevices) / minFleetFused.Seconds()
+	rep.Kernels.FleetSpeedup = float64(minFleetScalar) / float64(minFleetFused)
+	rep.Kernels.PR7FleetDevPerSec = pr7FleetTapeDevPerSec
+	rep.Kernels.Identical = true
+	rep.Kernels.Iterations = *count
+
+	// Fused tape fleet at 1 and 4 workers: the throughput a campaign
+	// actually sees. The 1-worker point reuses the paired minimum above;
+	// 4 workers is measured here (byte-identical summary again required).
+	rep.Kernels.FleetWorkers = append(rep.Kernels.FleetWorkers, fleetPoint{
+		Workers: 1, NsPerOp: minFleetFused.Nanoseconds(),
+		DevicesPerSec: rep.Kernels.FleetFusedDevPerSec,
+	})
+	fmt.Fprintf(os.Stderr, "bench: fleet campaign fused (%d real-network devices, 4 workers) × %d...\n",
+		realFleetDevices, *count)
+	var minFleetFused4 time.Duration
+	for i := 0; i < *count; i++ {
+		t0 := time.Now()
+		fusedFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 4)
+		if err != nil {
+			fail(err)
+		}
+		d4 := time.Since(t0)
+		sum, err := json.Marshal(fusedFleet.Agg.Summary())
+		if err != nil {
+			fail(err)
+		}
+		if string(sum) != string(realSummary) {
+			fail(fmt.Errorf("fused fleet aggregates at 4 workers differ from the 1-worker baseline"))
+		}
+		if i == 0 || d4 < minFleetFused4 {
+			minFleetFused4 = d4
+		}
+	}
+	rep.Kernels.FleetWorkers = append(rep.Kernels.FleetWorkers, fleetPoint{
+		Workers: 4, NsPerOp: minFleetFused4.Nanoseconds(),
+		DevicesPerSec: float64(realFleetDevices) / minFleetFused4.Seconds(),
+	})
+
 	// The tape path exists to be faster; a regression on either headline
 	// metric fails the bench outright.
 	if rep.Tape.Fig9Speedup <= 1.0 {
@@ -463,6 +613,15 @@ func main() {
 	}
 	if rep.Tape.FleetSpeedup <= 1.0 {
 		fail(fmt.Errorf("tape fleet sweep is not faster than interpreted (%.2fx)", rep.Tape.FleetSpeedup))
+	}
+	if rep.Kernels.FleetSpeedup <= 1.0 {
+		fail(fmt.Errorf("fused fleet sweep is not faster than scalar (%.2fx)", rep.Kernels.FleetSpeedup))
+	}
+	// The fused-kernel PR's headline: the tape fleet sweep (now fused by
+	// default) must at least double the throughput BENCH_PR7 recorded.
+	if rep.Tape.FleetTapeDevPerSec < 2*pr7FleetTapeDevPerSec {
+		fail(fmt.Errorf("tape fleet sweep at %.0f devices/sec, want >= 2x PR7's %.0f",
+			rep.Tape.FleetTapeDevPerSec, pr7FleetTapeDevPerSec))
 	}
 
 	// Scaling is only meaningful with real parallel hardware: on >=4 CPUs,
@@ -502,6 +661,15 @@ func main() {
 		rep.Tape.Fig9Speedup,
 		rep.Tape.FleetInterpDevPerSec, rep.Tape.FleetTapeDevPerSec, rep.Tape.FleetSpeedup,
 		rep.Tape.Identical)
+	fmt.Printf("kernels: fig9 %.3fs -> %.3fs (%.2fx)  fleet %.0f -> %.0f devices/sec (%.2fx)  identical=%v\n",
+		float64(rep.Kernels.Fig9ScalarNsPerOp)/1e9, float64(rep.Kernels.Fig9FusedNsPerOp)/1e9,
+		rep.Kernels.Fig9Speedup,
+		rep.Kernels.FleetScalarDevPerSec, rep.Kernels.FleetFusedDevPerSec, rep.Kernels.FleetSpeedup,
+		rep.Kernels.Identical)
+	for _, p := range rep.Kernels.FleetWorkers {
+		fmt.Printf("kernels: fused fleet %d devices @ %d workers: %.0f devices/sec\n",
+			rep.Kernels.FleetDevices, p.Workers, p.DevicesPerSec)
+	}
 	fmt.Printf("fleet: deterministic across worker counts: %v  -> %s\n",
 		rep.Fleet.Deterministic, *out)
 }

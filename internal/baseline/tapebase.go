@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/fixed"
+	"repro/internal/kern"
 	"repro/internal/mcu"
 	"repro/internal/mem"
 	"repro/internal/tape"
@@ -36,9 +37,7 @@ func tapeBaseLayer(dev *mcu.Device, img *core.Image, prog *tape.Program, li int,
 		dev.Ops(mcu.OpBranch, n)
 		dev.LoadRange(src, 0, n)
 		vals := sc.Out[:n]
-		for i := 0; i < n; i++ {
-			vals[i] = int64(fixed.ReLU(fixed.Q15(src.Get(i))))
-		}
+		kern.ReLU(vals, src.Words(), 0, 0, n)
 		dev.StoreRange(dst, 0, vals)
 	case dnn.QPool:
 		basePool(dev, q, tl.Name, src, dst)
@@ -64,17 +63,17 @@ func tapeBaseConv(dev *mcu.Device, img *core.Image, prog *tape.Program,
 	dev.Ops(mcu.OpBranch, n)
 	dev.StoreRange(acc, 0, prog.Zeros(n))
 	row := sc.Row[:ow]
+	// Charges stay bulk (MACRange/StoreRange); the value computation runs
+	// over the raw backing words — Get has no side effects, so the hoist
+	// is unconditionally equivalent.
+	srcW, accW := src.Words(), acc.Words()
 	apply := func(widx int) {
 		wv := fixed.Q15(dev.Load(l.W, widx))
 		srcRow := int(tl.WSrc[widx])
 		accRow := int(tl.WAccBase[widx])
 		for oy := 0; oy < oh; oy++ {
 			dev.MACRange(src, srcRow, acc, accRow, ow)
-			for ox := 0; ox < ow; ox++ {
-				x := fixed.Q15(src.Get(srcRow + ox))
-				a := fixed.Acc(acc.Get(accRow + ox))
-				row[ox] = int64(a.MAC(wv, x))
-			}
+			kern.MACRow(row, accW, srcW, accRow, srcRow, ow, int64(wv))
 			dev.StoreRange(acc, accRow, row)
 			srcRow += w
 			accRow += ow
@@ -98,10 +97,7 @@ func tapeBaseConv(dev *mcu.Device, img *core.Image, prog *tape.Program,
 		dev.Ops(mcu.OpBranch, positions)
 		dev.LoadRange(acc, base, positions)
 		dev.Ops(mcu.OpFixedAdd, positions)
-		for i := 0; i < positions; i++ {
-			a := fixed.Acc(acc.Get(base + i))
-			out[i] = int64(a.AddQ(b).SatShiftSigned(q.Shift))
-		}
+		kern.FinalizeConst(out, accW, int64(b), 0, base, positions, q.Shift)
 		dev.StoreRange(dst, base, out)
 	}
 }

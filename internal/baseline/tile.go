@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/fixed"
+	"repro/internal/kern"
 	"repro/internal/mcu"
 	"repro/internal/mem"
 	"repro/internal/tape"
@@ -203,9 +204,7 @@ func (b *tileBuilder) build() (bool, error) {
 				}
 				c.Dev().Ops(mcu.OpBranch, nn)
 				c.ReadRange(src, lo, nn)
-				for j := 0; j < nn; j++ {
-					vals[j] = int64(fixed.ReLU(fixed.Q15(src.Get(lo + j))))
-				}
+				kern.ReLU(vals, src.Words(), 0, lo, nn)
 				c.WriteRange(dst, lo, vals[:nn])
 			})
 			parity = !parity
@@ -415,14 +414,9 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 				if !first {
 					c.ReadRange(acc, pos0, n) // fresh, so it cannot decline
 					dev.Ops(mcu.OpFixedAdd, n)
-				}
-				for j := 0; j < n; j++ {
-					x := fixed.Q15(src.Get(srcStart + j))
-					var a fixed.Acc
-					if !first {
-						a = fixed.Acc(acc.Get(pos0 + j))
-					}
-					vals[j] = int64(a.MAC(wv, x))
+					kern.MACRow(vals, acc.Words(), src.Words(), pos0, srcStart, n, int64(wv))
+				} else {
+					kern.MulRow(vals, src.Words(), srcStart, n, int64(wv))
 				}
 				c.WriteRange(acc, pos0, vals[:n])
 				lo += n
@@ -462,10 +456,7 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 			bq := fixed.Q15(l.B.Get(f))
 			c.ReadRange(acc, lo, n)
 			dev.Ops(mcu.OpFixedAdd, n)
-			for j := 0; j < n; j++ {
-				a := fixed.Acc(acc.Get(lo + j))
-				finVals[j] = int64(a.AddQ(bq).SatShiftSigned(q.Shift))
-			}
+			kern.FinalizeConst(finVals, acc.Words(), int64(bq), 0, lo, n, q.Shift)
 			c.WriteRange(dst, lo, finVals[:n])
 			lo += n
 		}
@@ -518,14 +509,9 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 			if i > 0 {
 				c.ReadRange(acc, o0, n)
 				dev.Ops(mcu.OpFixedAdd, n)
-			}
-			for j := 0; j < n; j++ {
-				wv := fixed.Q15(l.W.Get((o0+j)*q.In + i))
-				var a fixed.Acc
-				if i > 0 {
-					a = fixed.Acc(acc.Get(o0 + j))
-				}
-				vals[j] = int64(a.MAC(wv, x))
+				kern.DenseRow(vals, acc.Words(), l.W.Words(), o0, o0*q.In+i, q.In, n, int64(x))
+			} else {
+				kern.DenseRowFirst(vals, l.W.Words(), o0*q.In+i, q.In, n, int64(x))
 			}
 			c.WriteRange(acc, o0, vals[:n])
 			lo += n
@@ -553,11 +539,7 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 		dev.LoadRange(l.B, lo, n)
 		c.ReadRange(acc, lo, n)
 		dev.Ops(mcu.OpFixedAdd, n)
-		for j := 0; j < n; j++ {
-			a := fixed.Acc(acc.Get(lo + j))
-			bq := fixed.Q15(l.B.Get(lo + j))
-			finVals[j] = int64(a.AddQ(bq).SatShiftSigned(q.Shift))
-		}
+		kern.FinalizeVec(finVals, acc.Words(), l.B.Words(), 0, lo, n, q.Shift)
 		c.WriteRange(dst, lo, finVals[:n])
 	})
 }

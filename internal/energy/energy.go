@@ -257,6 +257,30 @@ func (p *Intermittent) ConsumeN(e float64, n int) int {
 	return int(funded)
 }
 
+// FundWhole funds up to n whole blocks of unitPJ picojoules each and
+// returns the funded count: floor(remaining/unitPJ), charging only the
+// funded blocks and never a partial one. The fused-kernel fast path uses
+// it to execute exactly the funded prefix of a uniform loop in bulk and
+// hand the first unfunded iteration back to the scalar path, which then
+// charges op by op and browns out at the identical op index — so the
+// failing iteration's partial consumption (and with it the recharge
+// deficit and dead time) is produced by the same code on both paths.
+func (p *Intermittent) FundWhole(unitPJ int64, n int) int {
+	if p.remainingPJ < 0 {
+		return 0
+	}
+	if unitPJ <= 0 {
+		return n
+	}
+	funded := p.remainingPJ / unitPJ
+	if funded >= int64(n) {
+		p.remainingPJ -= int64(n) * unitPJ
+		return n
+	}
+	p.remainingPJ -= funded * unitPJ
+	return int(funded)
+}
+
 // Recharge refills the capacitor and returns the dead time, computed from
 // the harvester's power for this cycle.
 func (p *Intermittent) Recharge() float64 {

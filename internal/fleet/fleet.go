@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcu"
-	"repro/internal/trace"
 )
 
 // DeviceStats is the per-device metric record a simulation extracts. It
@@ -32,28 +31,28 @@ type DeviceStats struct {
 }
 
 // simulate runs one device instance to its first inference and extracts
-// its stats. The trace buffer is caller-owned worker scratch (reset here)
-// so a long campaign allocates no per-device analysis state.
-func simulate(ds DeviceSpec, m Model, rt core.Runtime, buf *trace.Buffer) (DeviceStats, error) {
+// its stats. Wasted-work accounting runs device-native (Device.TrackWasted
+// replicates the trace analysis arithmetic bit-exactly) instead of through
+// a per-device trace buffer, which would disqualify the fused kernel fast
+// path — a tracer must see every op.
+func simulate(ds DeviceSpec, m Model, rt core.Runtime, noFuse bool) (DeviceStats, error) {
 	power, err := ds.Power.New(ds.HarvestSeed)
 	if err != nil {
 		return DeviceStats{}, err
 	}
 	dev := mcu.New(power)
-	buf.Reset()
-	dev.SetTracer(buf)
+	dev.NoFuse = noFuse
+	dev.TrackWasted(true)
 	img, err := core.Deploy(dev, m.QM)
 	if err != nil {
 		return DeviceStats{}, fmt.Errorf("fleet: deploy %s on device %d: %w", m.Net, ds.Index, err)
 	}
 	_, ierr := rt.Infer(img, m.Input)
-	dev.FlushTrace()
 	st := dev.Stats()
-	an := buf.Analysis()
 	out := DeviceStats{
 		Reboots:  st.Reboots,
 		EnergyPJ: st.EnergyPJ,
-		WastedNJ: an.TotalWastedEnergyNJ,
+		WastedNJ: dev.WastedNJ(),
 	}
 	if ierr != nil {
 		if errors.Is(ierr, mcu.ErrDoesNotComplete) {
@@ -282,15 +281,12 @@ func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Worker-local scratch: one analysis ring reused by every
-			// device this worker simulates.
-			buf := trace.NewAnalysisBuffer(256)
 			for {
 				s := int(next.Add(1) - 1)
 				if s >= len(c.shards) {
 					return
 				}
-				if errs[w] = c.runShard(ctx, s, buf); errs[w] != nil {
+				if errs[w] = c.runShard(ctx, s); errs[w] != nil {
 					cancel()
 					return
 				}
@@ -316,7 +312,7 @@ func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 }
 
 // runShard simulates every device of shard s in index order.
-func (c *Campaign) runShard(ctx context.Context, s int, buf *trace.Buffer) error {
+func (c *Campaign) runShard(ctx context.Context, s int) error {
 	sh := c.shards[s]
 	stride := len(c.shards)
 	for i := s; i < c.spec.Devices; i += stride {
@@ -324,7 +320,7 @@ func (c *Campaign) runShard(ctx context.Context, s int, buf *trace.Buffer) error
 			return err
 		}
 		ds := c.spec.Device(i)
-		st, err := simulate(ds, c.models[ds.Model], c.rts[ds.Runtime], buf)
+		st, err := simulate(ds, c.models[ds.Model], c.rts[ds.Runtime], c.spec.NoFuse)
 		if err != nil {
 			return err
 		}

@@ -69,6 +69,12 @@ type Spec struct {
 	// (see TestTapeInterpreterDifferential), so it does not participate in
 	// the content hash: the same results, just faster.
 	Tape bool `json:"tape,omitempty"`
+	// NoFuse forces the scalar op-by-op execution path even where the
+	// fused bulk kernels could engage. Fused and scalar paths are
+	// bit-exact (TestFusedScalarDifferential), so like Tape this is an
+	// executor choice, not campaign identity, and stays out of the hash.
+	// It exists for A/B verification and benchmarking.
+	NoFuse bool `json:"no_fuse,omitempty"`
 }
 
 // DefaultShards is the logical shard count campaigns default to — enough
@@ -172,7 +178,8 @@ func (s *Spec) Hash() string {
 	// no maps, so the encoding is canonical.
 	norm := *s
 	norm.Shards = s.shardCount()
-	norm.Tape = false // executor choice, not campaign identity
+	norm.Tape = false   // executor choice, not campaign identity
+	norm.NoFuse = false // likewise bit-exact, see TestFusedScalarDifferential
 	buf, err := json.Marshal(&norm)
 	if err != nil {
 		panic("fleet: spec does not marshal: " + err.Error())

@@ -132,7 +132,15 @@ type RunResult struct {
 // inferences — so the steady-state figure is what the paper's repeated
 // measurements observe. For continuous power SteadySec equals live time.
 func Measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec, input []fixed.Q15) (RunResult, error) {
-	return measure(net, qm, rt, p, input, nil)
+	return measure(net, qm, rt, p, input, nil, false)
+}
+
+// MeasureScalar is Measure with the fused bulk kernels pinned off
+// (Device.NoFuse), forcing the scalar op-by-op path. Results are
+// bit-identical to Measure's (enforced by TestFusedScalarDifferential);
+// the bench tool uses the pair to price the fused fast path.
+func MeasureScalar(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec, input []fixed.Q15) (RunResult, error) {
+	return measure(net, qm, rt, p, input, nil, true)
 }
 
 // MeasureTraced is Measure with execution tracing enabled: events are
@@ -145,7 +153,7 @@ func MeasureTraced(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
 	if buf == nil {
 		buf = trace.NewBuffer(4096)
 	}
-	res, err := measure(net, qm, rt, p, input, buf)
+	res, err := measure(net, qm, rt, p, input, buf, false)
 	a := buf.Analysis()
 	res.Commits = a.Commits
 	res.WastedCycles = a.TotalWastedCycles
@@ -154,8 +162,9 @@ func MeasureTraced(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
 }
 
 func measure(net string, qm *dnn.QuantModel, rt core.Runtime, p PowerSpec,
-	input []fixed.Q15, tracer *trace.Buffer) (RunResult, error) {
+	input []fixed.Q15, tracer *trace.Buffer, noFuse bool) (RunResult, error) {
 	dev := mcu.New(p.Make())
+	dev.NoFuse = noFuse
 	if tracer != nil {
 		dev.SetTracer(tracer)
 	}

@@ -123,6 +123,12 @@ type Device struct {
 	// prove the two paths produce bit-identical results.
 	ForceScalar bool
 
+	// NoFuse disables the fused-kernel fast path (CanFuse returns false)
+	// while keeping the bulk-charge path: executors fall back to their
+	// per-word scalar loops. The fused/scalar differential oracle and the
+	// cmd/bench A/B pairs flip this knob.
+	NoFuse bool
+
 	stats    Stats
 	section  Section
 	secStats *SectionStats
@@ -160,6 +166,23 @@ type Device struct {
 	powerPJ   energy.PJConsumer
 	intPower  *energy.Intermittent
 	contPower bool
+
+	// bulkPower caches Power's optional bulk entry point
+	// (energy.BulkConsumer), probed once at construction so chargeOps
+	// skips the per-call interface assertion.
+	bulkPower energy.BulkConsumer
+
+	// Wasted-work accounting (TrackWasted): pjNow mirrors the derived
+	// total consumed picojoules incrementally, commitNJ is the consumed
+	// energy at the last durable commit (or cycle start), and wastedNJ
+	// accumulates, per browned-out charge cycle, the energy spent after
+	// that cycle's last commit — the same arithmetic, on the same float64
+	// values, as trace.Buffer's online analysis, so a fleet run reads the
+	// figure off the device without paying for a tracer.
+	wastedTrack bool
+	pjNow       int64
+	commitNJ    float64
+	wastedNJ    float64
 
 	// Tracing state: tracer is the nil-checked event consumer, traceMask
 	// the kinds it subscribed to (see TraceMasker), batchTrace whether
@@ -205,6 +228,9 @@ func NewWithMem(power energy.System, fram, sram *mem.Memory) *Device {
 	}
 	if pj, ok := power.(energy.PJConsumer); ok {
 		d.powerPJ = pj
+	}
+	if b, ok := power.(energy.BulkConsumer); ok {
+		d.bulkPower = b
 	}
 	switch p := power.(type) {
 	case *energy.Intermittent:
@@ -275,10 +301,55 @@ func (d *Device) ResetStats() {
 	d.batchOps = 0
 	d.opsInRegion = 0
 	d.opsTotal = 0
+	d.pjNow, d.commitNJ, d.wastedNJ = 0, 0, 0
 	d.secStats = nil // force SetSection to re-resolve into the fresh map
 	d.memoLayer, d.memoStats = "", [numMemoPhases]*SectionStats{}
 	d.statsGen++
 	d.SetSection("boot", PhaseControl)
+}
+
+// TrackWasted enables (or disables) device-native wasted-work accounting:
+// the energy consumed after each charge cycle's last durable commit and
+// before its brown-out, summed over the run. The figure is computed with
+// the same float64 arithmetic as trace.Buffer's online analysis
+// (TotalWastedEnergyNJ), so callers that only need the aggregate — the
+// fleet engine — can skip attaching a tracer entirely, which keeps the
+// fused-kernel fast path engaged. Enable it before the run charges its
+// first operation.
+func (d *Device) TrackWasted(on bool) {
+	d.wastedTrack = on
+	d.pjNow, d.commitNJ, d.wastedNJ = 0, 0, 0
+	if on {
+		_, pj := d.deriveNow()
+		d.pjNow = pj
+		d.commitNJ = float64(pj) * 1e-3
+	}
+}
+
+// WastedNJ reports the accumulated wasted (re-executed) energy in
+// nanojoules; zero unless TrackWasted is enabled.
+func (d *Device) WastedNJ() float64 { return d.wastedNJ }
+
+// resyncWasted recomputes the incremental consumed-energy mirror after a
+// wholesale stats replacement (snapshot restore, fork prefix rebuild).
+func (d *Device) resyncWasted() {
+	if d.wastedTrack {
+		_, pj := d.deriveNow()
+		d.pjNow = pj
+		d.commitNJ = float64(pj) * 1e-3
+	}
+}
+
+// CanFuse reports whether the fused-kernel fast path may engage: bulk
+// charging enabled, fusion not vetoed, and no journal, WAR tracker, or
+// tracer attached — every observer that needs to see the per-op stream.
+// The power system must be one of the two devirtualized kinds
+// (Intermittent or Continuous), whose whole-block funding is exact;
+// count-based fault-injection systems take the scalar path so failure
+// schedules keep their op-exact placement.
+func (d *Device) CanFuse() bool {
+	return !d.ForceScalar && !d.NoFuse && d.journal == nil && d.shadow == nil &&
+		d.tracer == nil && (d.intPower != nil || d.contPower)
 }
 
 // SetSection changes the attribution label for subsequent operations.
@@ -439,6 +510,9 @@ func (d *Device) Op(k OpKind) {
 	d.stats.OpCount[k]++
 	d.secStats.OpCount[k]++
 	d.opsInRegion++
+	if d.wastedTrack {
+		d.pjNow += d.costPJ[k]
+	}
 	if d.batchTrace {
 		d.batchOps++
 		if d.batchOps >= opBatchMax {
@@ -484,6 +558,9 @@ func (d *Device) account(k OpKind, n int) {
 	d.stats.OpCount[k] += nn
 	d.secStats.OpCount[k] += nn
 	d.opsInRegion += nn
+	if d.wastedTrack {
+		d.pjNow += nn * d.costPJ[k]
+	}
 	if d.batchTrace {
 		d.batchOps += n
 		if d.batchOps >= opBatchMax {
@@ -498,6 +575,12 @@ func (d *Device) brownOut(k OpKind) {
 		d.flushOpBatch()
 		d.emit(TraceBrownOut, d.section.Layer, int64(k))
 	}
+	if d.wastedTrack {
+		// The failing op is charged but never accounted (exactly as the
+		// tracer's brown-out event samples only accounted ops), so the
+		// cycle's wasted energy is accounted-now minus last commit.
+		d.wastedNJ += float64(d.pjNow)*1e-3 - d.commitNJ
+	}
 	panic(powerFailure{})
 }
 
@@ -509,7 +592,7 @@ func (d *Device) brownOut(k OpKind) {
 // out when the return value is short.
 func (d *Device) chargeOps(k OpKind, n int) int {
 	e := d.Cost.Costs[k].EnergyNJ
-	if b, ok := d.Power.(energy.BulkConsumer); ok && !d.ForceScalar {
+	if b := d.bulkPower; b != nil && !d.ForceScalar {
 		funded := b.ConsumeN(e, n)
 		if funded > 0 {
 			d.account(k, funded)
@@ -605,6 +688,15 @@ func (d *Device) StoreRange(r *mem.Region, i int, vs []int64) {
 	}
 	k := storeOp(r)
 	funded := d.chargeOps(k, n)
+	if d.journal == nil && d.shadow == nil {
+		// No write-log ordering or WAR records to maintain: the funded
+		// prefix lands via one bulk copy (observer-aware in SetRange).
+		r.SetRange(i, vs[:funded])
+		if funded < n {
+			d.brownOut(k)
+		}
+		return
+	}
 	if jr := d.journal; jr != nil {
 		jr.beginBatch(funded)
 	}
@@ -675,6 +767,9 @@ func (d *Device) Progress() {
 	if d.shadow != nil {
 		d.shadow.Commit()
 	}
+	if d.wastedTrack {
+		d.commitNJ = float64(d.pjNow) * 1e-3
+	}
 	if d.tracer != nil {
 		d.flushOpBatch()
 		d.emit(TraceCommit, d.section.Layer, 0)
@@ -712,6 +807,12 @@ func (d *Device) Attempt(f func()) (completed bool) {
 func (d *Device) Reboot() error {
 	d.SRAM.ClearVolatile()
 	d.stats.Reboots++
+	if d.wastedTrack {
+		// A new charge cycle begins; its wasted-work baseline is the
+		// energy consumed so far (nothing is charged between the
+		// brown-out and this reboot).
+		d.commitNJ = float64(d.pjNow) * 1e-3
+	}
 	d.Emit(TraceReboot, "", int64(d.stats.Reboots))
 	d.stats.DeadSeconds += d.Power.Recharge()
 	d.Emit(TraceRechargeDone, "", 0)

@@ -1,0 +1,105 @@
+package mcu
+
+// Fused-kernel charging: the charge-then-compute half of the fast path.
+//
+// A tape executor's inner loop charges the same multiset of operations on
+// every iteration and ends each iteration at a durable commit (Progress).
+// A Block captures that per-iteration op profile once; ChargeBlock then
+// funds and accounts as many whole iterations as the energy buffer can
+// pay for in O(ops-per-block) time, and the caller executes exactly that
+// many iterations as one tight loop over raw memory words (internal/kern)
+// before handing control back to the scalar path. Because only whole
+// iterations are ever funded — never the partial one — the first unfunded
+// iteration re-executes on the scalar path, charges op by op, and browns
+// out at the identical op index with the identical partial energy
+// consumption, so logits, Stats, reboot placement, dead time, and
+// wasted-work figures are bit-exact with the scalar path.
+//
+// ChargeBlock is only legal when Device.CanFuse() holds: no journal, WAR
+// shadow, or tracer is attached, so there is no per-op observer to
+// notify, and the power system is one of the two devirtualized kinds.
+
+// BlockOp is one op kind charged N times per fused iteration, attributed
+// to the section Tok.
+type BlockOp struct {
+	Tok  SectionTok
+	Kind OpKind
+	N    int
+}
+
+// Block is the pre-computed per-iteration charge profile of one fused
+// loop. Build it once per layer visit with NewBlock; it is device-local
+// (section tokens are) and immutable.
+type Block struct {
+	ops     []BlockOp
+	unitPJ  int64 // energy per iteration, integer picojoules
+	unitOps int64 // charged operations per iteration
+}
+
+// UnitOps returns the charged operations per fused iteration.
+func (b *Block) UnitOps() int64 { return b.unitOps }
+
+// NewBlock builds the charge profile for one fused-loop iteration. The
+// listed ops must be exactly the multiset the scalar iteration charges,
+// and the last entry's token must be the section the scalar iteration
+// would leave active at its commit.
+func (d *Device) NewBlock(ops ...BlockOp) *Block {
+	b := &Block{ops: ops}
+	for _, op := range ops {
+		b.unitPJ += int64(op.N) * d.costPJ[op.Kind]
+		b.unitOps += int64(op.N)
+	}
+	return b
+}
+
+// ChargeBlock funds up to n whole iterations of the block and returns how
+// many were funded, accounting exactly the funded iterations — op counts,
+// section attribution, commit bookkeeping (each fused iteration ends in a
+// Progress), and wasted-work tracking. It never charges a partial
+// iteration: when the return value m < n, the buffer holds whatever the
+// scalar path needs to re-derive the m+1-th iteration's failure point
+// itself. Callers must hold CanFuse() and must execute exactly m
+// iterations' worth of data movement after a successful charge.
+func (d *Device) ChargeBlock(b *Block, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	m := n
+	if p := d.intPower; p != nil {
+		m = p.FundWhole(b.unitPJ, n)
+		if m == 0 {
+			return 0
+		}
+	}
+	mm := int64(m)
+	for i := range b.ops {
+		op := &b.ops[i]
+		e := &d.toks[op.Tok]
+		if e.stats == nil || e.gen != d.statsGen {
+			e.stats = d.resolveSection(e.sec)
+			e.gen = d.statsGen
+		}
+		nn := int64(op.N) * mm
+		d.stats.OpCount[op.Kind] += nn
+		e.stats.OpCount[op.Kind] += nn
+		d.opsTotal += nn
+	}
+	// The scalar loop's last section switch per iteration is the final
+	// op's token; leave the device attributed there.
+	last := &d.toks[b.ops[len(b.ops)-1].Tok]
+	d.section = last.sec
+	d.secStats = last.stats
+	// Commit bookkeeping: the first fused iteration closes the open
+	// region (opsInRegion + one iteration); every later one spans exactly
+	// one iteration, which can only be smaller.
+	if first := d.opsInRegion + b.unitOps; first > d.stats.MaxRegionOps {
+		d.stats.MaxRegionOps = first
+	}
+	d.opsInRegion = 0
+	d.rebootsSinceProgress = 0
+	if d.wastedTrack {
+		d.pjNow += b.unitPJ * mm
+		d.commitNJ = float64(d.pjNow) * 1e-3
+	}
+	return m
+}

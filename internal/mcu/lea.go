@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fixed"
+	"repro/internal/kern"
 	"repro/internal/mem"
 )
 
@@ -33,6 +34,14 @@ func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int
 	// prefix of words transferred — the same partial destination a
 	// word-by-word failure leaves.
 	funded := d.chargeOps(OpDMAWord, n)
+	if d.journal == nil && d.shadow == nil {
+		// Bulk move over raw words; SetRange keeps any Put observer fed.
+		dst.SetRange(dstOff, src.Words()[srcOff:srcOff+funded])
+		if funded < n {
+			d.brownOut(OpDMAWord)
+		}
+		return
+	}
 	if j := d.journal; j != nil {
 		j.beginBatch(funded)
 	}
@@ -80,11 +89,9 @@ func (d *Device) LEAMacV(x *mem.Region, xOff int, y *mem.Region, yOff, n int) fi
 	// brown-out wipes anyway, so charging before computing is
 	// indistinguishable from the interleaved scalar order.
 	d.Ops(OpLEAElem, n)
-	var acc fixed.Acc
-	for i := 0; i < n; i++ {
-		acc = acc.MAC(fixed.Q15(x.Get(xOff+i)), fixed.Q15(y.Get(yOff+i)))
-	}
-	return acc
+	// Reads only — no observer or WAR shadow sees SRAM Gets, so the raw
+	// word loop is unconditionally equivalent.
+	return fixed.Acc(kern.DotQ15(x.Words(), y.Words(), xOff, yOff, n))
 }
 
 // LEAFIR computes a 1-D FIR discrete-time convolution:
@@ -106,6 +113,10 @@ func (d *Device) LEAFIR(out *mem.Region, outOff int, in *mem.Region, inOff int,
 	// Bulk charge for the whole invocation; operands and outputs are SRAM,
 	// lost at brown-out, so the charge/compute order is unobservable.
 	d.Ops(OpLEAElem, outN*coefN)
+	if !out.Observed() {
+		kern.FIR(out.Words(), in.Words(), coef.Words(), outOff, inOff, coefOff, coefN, outN)
+		return
+	}
 	for i := 0; i < outN; i++ {
 		var acc fixed.Acc
 		for k := 0; k < coefN; k++ {
@@ -127,6 +138,10 @@ func (d *Device) LEAAddV(dst *mem.Region, dstOff int, a *mem.Region, aOff int,
 	d.Emit(TraceLEA, "addv", int64(n))
 	d.Op(OpLEAInvoke)
 	d.Ops(OpLEAElem, n) // bulk charge; SRAM-only effects (see LEAMacV)
+	if !dst.Observed() {
+		kern.AddSatV(dst.Words(), a.Words(), b.Words(), dstOff, aOff, bOff, n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		s := fixed.Add(fixed.Q15(a.Get(aOff+i)), fixed.Q15(b.Get(bOff+i)))
 		dst.Put(dstOff+i, int64(s))

@@ -79,6 +79,7 @@ func (d *Device) Restore(s *DeviceSnapshot) error {
 	d.secStats = nil
 	d.memoLayer, d.memoStats = "", [numMemoPhases]*SectionStats{}
 	d.statsGen++
+	d.resyncWasted()
 	d.SetSection(s.section.Layer, s.section.Phase)
 	if d.shadow != nil && s.shadow != nil {
 		d.shadow.Restore(s.shadow)

@@ -106,6 +106,11 @@ func (m *Memory) SetObserver(o PutObserver) {
 	}
 }
 
+// Observed reports whether a Put observer is installed on the bank. Fused
+// bulk kernels write raw backing words and must stay off banks an
+// observer is watching.
+func (m *Memory) Observed() bool { return m.obs != nil }
+
 // IndexOf returns r's position in the bank's live region list, or -1. The
 // index is stable while no region is released, which lets a recording keyed
 // by index be replayed onto a structurally identical bank.
@@ -185,5 +190,26 @@ func (r *Region) Put(i int, v int64) {
 	r.words[i] = v
 }
 
-// Words exposes the raw storage for host-side bulk initialization.
+// Words exposes the raw storage for host-side bulk initialization and for
+// the device model's fused kernels, which operate on the backing slice
+// directly after charging the whole loop (see internal/kern).
 func (r *Region) Words() []int64 { return r.words }
+
+// Observed reports whether a PutObserver is attached. Bulk writers that
+// bypass Put (fused kernels writing through Words) must check it and
+// route stores through Put/SetRange instead, so the observer still sees
+// every write.
+func (r *Region) Observed() bool { return r.obs != nil }
+
+// SetRange writes vs into words [i, i+len(vs)) with the same observer
+// semantics as len(vs) ascending Put calls.
+func (r *Region) SetRange(i int, vs []int64) {
+	if r.obs != nil {
+		for j, v := range vs {
+			r.obs.OnPut(r, i+j, v)
+			r.words[i+j] = v
+		}
+		return
+	}
+	copy(r.words[i:], vs)
+}

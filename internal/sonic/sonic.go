@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/fixed"
+	"repro/internal/kern"
 	"repro/internal/mcu"
 	"repro/internal/mem"
 	"repro/internal/tape"
@@ -248,7 +249,20 @@ func (s *Exec) RunLayerSoftware(li int, parity bool, start Cursor) {
 			s.sparseLayer(l, name, src, dst, start)
 		}
 	case dnn.QReLU:
-		s.MapLayer(name, start, l.Q.InShape.Len(), func(i int) {
+		tokK := s.Dev.SectionToken(name, mcu.PhaseKernel)
+		tokC := s.Dev.SectionToken(name, mcu.PhaseControl)
+		var blk *mcu.Block
+		var per int
+		if s.canFuse() {
+			blk, per = s.unitBlock(tokC,
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		}
+		srcW, dstW := src.Words(), dst.Words()
+		s.fuseMap(tokK, tokC, blk, per, start, l.Q.InShape.Len(), func(i0, m int) {
+			kern.ReLU(dstW, srcW, i0, i0, m)
+		}, func(i int) {
 			v := fixed.ReLU(fixed.Q15(s.Dev.Load(src, i)))
 			s.Dev.Store(dst, i, int64(v))
 		})
@@ -409,7 +423,26 @@ func (s *Exec) convLayer(l *core.LayerImage, name string, src, dst *mem.Region, 
 func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region, start Cursor) {
 	q := l.Q
 	dev := s.Dev
+	tokK := dev.SectionToken(name, mcu.PhaseKernel)
+	tokC := dev.SectionToken(name, mcu.PhaseControl)
+	fuse := s.canFuse()
+	var blkFirst, blkRest *mcu.Block
+	var per int
+	if fuse {
+		blkFirst, per = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		blkRest, _ = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 2},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+	}
 	if start.Pass == 0 {
+		wW := l.W.Words()
 		for pos := start.Pos; pos < q.In; pos++ {
 			dev.SetSection(name, mcu.PhaseControl)
 			x := fixed.Q15(dev.Load(src, pos))
@@ -418,8 +451,24 @@ func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region,
 			if pos == start.Pos {
 				iStart = start.I
 			}
-			for o := iStart; o < q.Out; o++ {
-				dev.SetSection(name, mcu.PhaseKernel)
+			for o := iStart; o < q.Out; {
+				if fuse {
+					blk := blkRest
+					if pos == 0 {
+						blk = blkFirst
+					}
+					if m := s.fuseIters(blk, per, o, q.Out); m > 0 {
+						if pos == 0 {
+							kern.DenseFirst(dest.Words(), wW, q.In, pos, o, m, int64(x))
+						} else {
+							kern.DenseMAC(dest.Words(), inter.Words(), wW, q.In, pos, o, m, int64(x))
+						}
+						o += m
+						s.fuseCommit(Cursor{Layer: start.Layer, Pos: pos, I: o})
+						continue
+					}
+				}
+				dev.SetSectionTok(tokK)
 				dev.Op(mcu.OpBranch)
 				wv := fixed.Q15(dev.Load(l.W, o*q.In+pos))
 				dev.Op(mcu.OpFixedMul)
@@ -429,8 +478,9 @@ func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region,
 					dev.Op(mcu.OpFixedAdd)
 				}
 				dev.Store(dest, o, int64(a.MAC(wv, x)))
-				dev.SetSection(name, mcu.PhaseControl)
+				dev.SetSectionTok(tokC)
 				s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos, I: o + 1})
+				o++
 			}
 			s.Transition(name, Cursor{Layer: start.Layer, Pos: pos + 1})
 		}
@@ -438,7 +488,18 @@ func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region,
 		s.Transition(name, start)
 	}
 	final, _ := AccBufs(s.Img, q.In-1)
-	s.MapLayer(name, start, q.Out, func(o int) {
+	var blkFin *mcu.Block
+	if fuse {
+		blkFin, per = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 2},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+	}
+	finalW, bW, dstW := final.Words(), l.B.Words(), dst.Words()
+	s.fuseMap(tokK, tokC, blkFin, per, start, q.Out, func(i0, m int) {
+		kern.FinalizeVec(dstW, finalW, bW, i0, i0, m, q.Shift)
+	}, func(o int) {
 		bq := fixed.Q15(dev.Load(l.B, o))
 		a := fixed.Acc(dev.Load(final, o))
 		dev.Op(mcu.OpFixedAdd)
@@ -459,13 +520,26 @@ func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region
 	acc := s.Img.AccA
 	ctl := s.Img.Ctl
 	nnz := len(q.W)
+	tokK := dev.SectionToken(name, mcu.PhaseKernel)
+	tokC := dev.SectionToken(name, mcu.PhaseControl)
+	fuse := s.canFuse()
+	var per int
 
 	switch start.Pass {
 	case 0:
 		// Zero the in-place accumulator (write-only, idempotent), and
 		// rearm the undo-log read index (idempotent: re-zeroing after a
 		// failure here is harmless because pass 1 has not started).
-		s.MapLayer(name, start, q.Out, func(o int) {
+		var blkZero *mcu.Block
+		if fuse {
+			blkZero, per = s.unitBlock(tokC,
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		}
+		accW := acc.Words()
+		s.fuseMap(tokK, tokC, blkZero, per, start, q.Out, func(i0, m int) {
+			kern.Zero(accW, i0, m)
+		}, func(o int) {
 			dev.Store(acc, o, 0)
 		})
 		dev.Store(ctl, slotRead, 0)
@@ -475,9 +549,43 @@ func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region
 	case 1:
 		// row is carried in the cursor's i field so the CSR walk resumes
 		// without rescanning RowPtr from zero.
+		//
+		// Fused per-row runs: within one CSR row the charge profile is
+		// uniform — one branch, the row-boundary probe, the undo-log
+		// read-index load and (once the log is armed) the three-store
+		// two-phase update, the weight/column/activation loads, and the
+		// always-forced commit. Row advances and the one resume
+		// iteration whose read index is already past (rd > pos) are
+		// non-uniform and run scalar.
+		var blkRow *mcu.Block
+		if fuse {
+			blkRow = s.forceUnitBlock(tokC,
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 7},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 3},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1})
+		}
 		row := start.I
-		for pos := start.Pos; pos < nnz; pos++ {
-			dev.SetSection(name, mcu.PhaseKernel)
+		for pos := start.Pos; pos < nnz; {
+			if fuse {
+				rowEnd := int(l.RowPtr.Get(row + 1))
+				if rowEnd > nnz {
+					rowEnd = nnz
+				}
+				if rowEnd > pos && int(ctl.Get(slotRead)) <= pos {
+					if m := s.Dev.ChargeBlock(blkRow, rowEnd-pos); m > 0 {
+						final, canon := kern.CSRRow(l.W.Words(), l.Cols.Words(), src.Words(), pos, m, acc.Get(row))
+						pos += m
+						ctl.Put(slotCanonical, canon)
+						ctl.Put(slotRead, int64(pos))
+						acc.Put(row, final)
+						s.fuseCommit(Cursor{Layer: start.Layer, Pass: 1, Pos: pos, I: row})
+						continue
+					}
+				}
+			}
+			dev.SetSectionTok(tokK)
 			dev.Op(mcu.OpBranch)
 			// Advance row until RowPtr[row+1] > pos.
 			for int(dev.Load(l.RowPtr, row+1)) <= pos {
@@ -501,16 +609,28 @@ func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region
 			dev.Op(mcu.OpFixedMul)
 			dev.Op(mcu.OpFixedAdd)
 			dev.Store(acc, row, int64(canon.MAC(wv, x)))
-			dev.SetSection(name, mcu.PhaseControl)
+			dev.SetSectionTok(tokC)
 			// Sparse undo-logging is only idempotent one iteration deep,
 			// so even checkpointing runtimes commit the cursor here.
 			s.ForceCheckpoint(Cursor{Layer: start.Layer, Pass: 1, Pos: pos + 1, I: row})
+			pos++
 		}
 		start = Cursor{Layer: start.Layer, Pass: 2}
 		s.Transition(name, start)
 		fallthrough
 	default:
-		s.MapLayer(name, start, q.Out, func(o int) {
+		var blkFin *mcu.Block
+		if fuse {
+			blkFin, per = s.unitBlock(tokC,
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 2},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		}
+		accW, bW, dstW := acc.Words(), l.B.Words(), dst.Words()
+		s.fuseMap(tokK, tokC, blkFin, per, start, q.Out, func(i0, m int) {
+			kern.FinalizeVec(dstW, accW, bW, i0, i0, m, q.Shift)
+		}, func(o int) {
 			bq := fixed.Q15(dev.Load(l.B, o))
 			a := fixed.Acc(dev.Load(acc, o))
 			dev.Op(mcu.OpFixedAdd)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/fixed"
+	"repro/internal/kern"
 	"repro/internal/mcu"
 	"repro/internal/mem"
 	"repro/internal/tape"
@@ -62,6 +63,29 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 	tokK := dev.SectionToken(name, mcu.PhaseKernel)
 	tokC := dev.SectionToken(name, mcu.PhaseControl)
 
+	// Fused fast path: the inner loop's charge profile is uniform within
+	// one filter element (one branch, the src load, the multiply, the
+	// previous-generation load+add except on a filter's first element,
+	// the dest store, and the commit), so whole runs of funded iterations
+	// execute as bulk word loops.
+	fuse := s.canFuse()
+	var blkFirst, blkRest *mcu.Block
+	var per int
+	if fuse {
+		blkFirst, per = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		blkRest, _ = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 2},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+	}
+	srcW := src.Words()
+
 	if start.Pass == 0 {
 		for pos := start.Pos; pos < tl.Elems; pos++ {
 			dev.SetSectionTok(tokC)
@@ -82,7 +106,23 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 			if pos == start.Pos {
 				iStart = start.I
 			}
-			for i := iStart; i < positions; i++ {
+			for i := iStart; i < positions; {
+				if fuse {
+					blk := blkRest
+					if firstOfFilter {
+						blk = blkFirst
+					}
+					if m := s.fuseIters(blk, per, i, positions); m > 0 {
+						if firstOfFilter {
+							kern.ConvFirst(dest.Words(), srcW, base, srcBase, posOff, i, m, int64(wv))
+						} else {
+							kern.ConvMAC(dest.Words(), inter.Words(), srcW, base, srcBase, posOff, i, m, int64(wv))
+						}
+						i += m
+						s.fuseCommit(Cursor{Layer: start.Layer, Pos: pos, I: i})
+						continue
+					}
+				}
 				dev.SetSectionTok(tokK)
 				dev.Op(mcu.OpBranch)
 				x := fixed.Q15(dev.Load(src, srcBase+int(posOff[i])))
@@ -95,6 +135,7 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 				dev.Store(dest, base+i, int64(a.MAC(wv, x)))
 				dev.SetSectionTok(tokC)
 				s.Checkpoint(Cursor{Layer: start.Layer, Pos: pos, I: i + 1})
+				i++
 			}
 			s.Transition(name, Cursor{Layer: start.Layer, Pos: pos + 1})
 		}
@@ -102,7 +143,7 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 		s.Transition(name, start)
 	}
 
-	s.MapLayerTok(tokK, tokC, start, q.F*positions, func(i int) {
+	fin := func(i int) {
 		f := int(filterOf[i])
 		var par int64
 		if l.FinPar != nil {
@@ -118,7 +159,63 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 			dev.Op(mcu.OpFixedAdd)
 		}
 		dev.Store(dst, i, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
-	})
+	}
+	n := q.F * positions
+	if !fuse {
+		s.MapLayerTok(tokK, tokC, start, n, fin)
+		return
+	}
+	// Fused finalize, one segment per filter: the charge profile is
+	// constant within a filter (the parity lookup when FinPar exists, the
+	// bias load, and — except for fully-pruned filters — the partial load
+	// and add) but varies across filters, so segments charge separately.
+	dstW := dst.Words()
+	for i := start.I; i < n; {
+		f := int(filterOf[i])
+		segEnd := (f + 1) * positions
+		if segEnd > n {
+			segEnd = n
+		}
+		var par int64
+		if l.FinPar != nil {
+			par = l.FinPar.Get(f)
+		} else {
+			par = int64(((f+1)*tl.EPF - 1) & 1)
+		}
+		loads := 2 // bias + partial
+		if l.FinPar != nil {
+			loads++
+		}
+		adds := 1
+		if par < 0 {
+			loads--
+			adds = 0
+		}
+		blk, _ := s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: loads},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: adds},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		for i < segEnd {
+			if m := s.fuseIters(blk, per, i, segEnd); m > 0 {
+				var finalW []int64
+				if par >= 0 {
+					final, _ := AccBufs(s.Img, int(par))
+					finalW = final.Words()
+				}
+				kern.FinalizeConst(dstW, finalW, l.B.Get(f), i, i, m, q.Shift)
+				i += m
+				s.fuseCommit(Cursor{Layer: start.Layer, Pass: start.Pass, I: i})
+				continue
+			}
+			dev.SetSectionTok(tokK)
+			dev.Op(mcu.OpBranch)
+			fin(i)
+			dev.SetSectionTok(tokC)
+			s.Checkpoint(Cursor{Layer: start.Layer, Pass: start.Pass, I: i + 1})
+			i++
+		}
+	}
 }
 
 // MapLayerTok is MapLayer with the per-iteration kernel/control section
@@ -144,7 +241,19 @@ func (s *Exec) tapePoolLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 	poolBase := tl.PoolBase
 	tokK := s.Dev.SectionToken(tl.Name, mcu.PhaseKernel)
 	tokC := s.Dev.SectionToken(tl.Name, mcu.PhaseControl)
-	s.MapLayerTok(tokK, tokC, start, len(poolBase), func(i int) {
+	var blk *mcu.Block
+	var per int
+	if s.canFuse() {
+		win := q.Window * q.Window
+		blk, per = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1 + win},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: win},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+	}
+	srcW, dstW := src.Words(), dst.Words()
+	s.fuseMap(tokK, tokC, blk, per, start, len(poolBase), func(i0, m int) {
+		kern.MaxPool(dstW, srcW, poolBase, q.Window, w, i0, m)
+	}, func(i int) {
 		rowStart := int(poolBase[i])
 		best := fixed.MinusOne
 		for ky := 0; ky < q.Window; ky++ {

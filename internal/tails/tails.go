@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/fixed"
+	"repro/internal/kern"
 	"repro/internal/mcu"
 	"repro/internal/mem"
 	"repro/internal/sonic"
@@ -258,11 +259,7 @@ func (t TAILS) blockIn(dev *mcu.Device, dst *mem.Region, dstOff int, src *mem.Re
 		// interleaved scalar loop. The funded store prefix still leaves
 		// the partial destination loop-ordered buffering tolerates.
 		dev.LoadRange(src, srcOff, n)
-		vals := make([]int64, n)
-		for i := range vals {
-			vals[i] = src.Get(srcOff + i)
-		}
-		dev.StoreRange(dst, dstOff, vals)
+		dev.StoreRange(dst, dstOff, src.Words()[srcOff:srcOff+n])
 		return
 	}
 	dev.DMA(dst, dstOff, src, srcOff, n)
@@ -288,6 +285,10 @@ func (t TAILS) fir(dev *mcu.Device, out *mem.Region, outOff int, in *mem.Region,
 	dev.Ops(mcu.OpFixedAdd, total)
 	dev.Ops(mcu.OpLoadSRAM, 2*total)
 	dev.Ops(mcu.OpStoreSRAM, outN)
+	if !out.Observed() {
+		kern.FIR(out.Words(), in.Words(), coef.Words(), outOff, inOff, coefOff, coefN, outN)
+		return
+	}
 	for i := 0; i < outN; i++ {
 		var acc fixed.Acc
 		for k := 0; k < coefN; k++ {
@@ -306,11 +307,7 @@ func (t TAILS) macv(dev *mcu.Device, x *mem.Region, xOff int, y *mem.Region, yOf
 	dev.Ops(mcu.OpFixedMul, n)
 	dev.Ops(mcu.OpFixedAdd, n)
 	dev.Ops(mcu.OpLoadSRAM, 2*n)
-	var acc fixed.Acc
-	for i := 0; i < n; i++ {
-		acc = acc.MAC(fixed.Q15(x.Get(xOff+i)), fixed.Q15(y.Get(yOff+i)))
-	}
-	return acc
+	return fixed.Acc(kern.DotQ15(x.Words(), y.Words(), xOff, yOff, n))
 }
 
 // addv saturating-adds n Q15 elements (dst = a + b) on LEA or in software.
@@ -323,6 +320,10 @@ func (t TAILS) addv(dev *mcu.Device, dst *mem.Region, dstOff int, a *mem.Region,
 	dev.Ops(mcu.OpFixedAdd, n)
 	dev.Ops(mcu.OpLoadSRAM, 2*n)
 	dev.Ops(mcu.OpStoreSRAM, n)
+	if !dst.Observed() {
+		kern.AddSatV(dst.Words(), a.Words(), b.Words(), dstOff, aOff, bOff, n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		s := fixed.Add(fixed.Q15(a.Get(aOff+i)), fixed.Q15(b.Get(bOff+i)))
 		dst.Put(dstOff+i, int64(s))
@@ -339,6 +340,10 @@ func preShiftRow(dev *mcu.Device, r *mem.Region, off, n, sh int) {
 	dev.Ops(mcu.OpLoadSRAM, n)
 	dev.Ops(mcu.OpAdd, n) // shift sequence
 	dev.Ops(mcu.OpStoreSRAM, n)
+	if !r.Observed() {
+		kern.ShiftRight(r.Words(), off, n, sh)
+		return
+	}
 	for i := 0; i < n; i++ {
 		r.Put(off+i, r.Get(off+i)>>uint(sh))
 	}
@@ -348,6 +353,12 @@ func preShiftRow(dev *mcu.Device, r *mem.Region, off, n, sh int) {
 // output scale, charging software shift ops.
 func shiftBias(dev *mcu.Device, b fixed.Q15, shift int) fixed.Q15 {
 	dev.Op(mcu.OpAdd)
+	return shiftBiasValue(b, shift)
+}
+
+// shiftBiasValue is shiftBias's value computation, shared with the fused
+// finalize span (which charges the shift through its block).
+func shiftBiasValue(b fixed.Q15, shift int) fixed.Q15 {
 	if shift >= 0 {
 		return b >> uint(shift)
 	}

@@ -113,7 +113,37 @@ func (t TAILS) tapeConvLayer(s *sonic.Exec, sc *scratch, l *core.LayerImage, tl 
 	}
 
 	final, _ := sonic.AccBufs(s.Img, gens-1)
-	s.MapLayerTok(tokK, tokC, start, q.F*q.OutShape[1]*ow, func(i int) {
+	// Fused finalize: the per-element charge profile is uniform across the
+	// whole layer (post-shift presence is a layer property, and shiftBias
+	// always charges one software shift), so one block covers it.
+	adds := 1 // shiftBias
+	if postShift > 0 {
+		adds++
+	}
+	blk, per := s.FuseUnit(tokC,
+		mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+		mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 2},
+		mcu.BlockOp{Tok: tokK, Kind: mcu.OpAdd, N: adds},
+		mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
+		mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+	finalW, bW, dstW := final.Words(), l.B.Words(), dst.Words()
+	s.FuseMapTok(tokK, tokC, blk, per, start, q.F*q.OutShape[1]*ow, func(i0, m int) {
+		for i := i0; i < i0+m; i++ {
+			v := fixed.Q15(finalW[i])
+			if postShift > 0 {
+				wide := int64(v) << uint(postShift)
+				if wide > int64(fixed.One) {
+					v = fixed.One
+				} else if wide < int64(fixed.MinusOne) {
+					v = fixed.MinusOne
+				} else {
+					v = fixed.Q15(wide)
+				}
+			}
+			bq := shiftBiasValue(fixed.Q15(bW[int(filterOf[i])]), q.Shift)
+			dstW[i] = int64(fixed.Add(v, bq))
+		}
+	}, func(i int) {
 		f := int(filterOf[i])
 		v := fixed.Q15(dev.Load(final, i))
 		if postShift > 0 {
