@@ -1,15 +1,20 @@
 // Command serve exposes the fleet campaign engine as an HTTP/JSON
 // service: POST a fleet spec to /jobs, poll /jobs/{id} for progress and
-// streamed aggregates, DELETE to cancel, /healthz for liveness. Identical
-// specs are deduplicated by content address and answered from the
-// original job without re-simulation; prepared models are shared across
-// jobs. SIGINT/SIGTERM triggers a graceful drain: in-flight campaigns get
-// the drain timeout to finish before being cancelled.
+// streamed aggregates, DELETE to cancel, /healthz for liveness, /stats
+// for counters (jobs, dedup hits, model-cache builds, and device
+// provisioning work — pooled restores, page traffic, fresh deploys).
+// Identical specs are deduplicated by content address and answered from
+// the original job without re-simulation; prepared models are shared
+// across jobs and carry deploy-once provisioning prototypes, so pooled
+// campaign devices are restored in place instead of re-deployed.
+// SIGINT/SIGTERM triggers a graceful drain: in-flight campaigns get the
+// drain timeout to finish before being cancelled.
 //
 // Usage:
 //
 //	serve -addr :8080
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/jobs -d @spec.json
 package main
 

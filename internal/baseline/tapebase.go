@@ -37,7 +37,7 @@ func tapeBaseLayer(dev *mcu.Device, img *core.Image, prog *tape.Program, li int,
 		dev.Ops(mcu.OpBranch, n)
 		dev.LoadRange(src, 0, n)
 		vals := sc.Out[:n]
-		kern.ReLU(vals, src.Words(), 0, 0, n)
+		kern.ReLU(vals, src.ROWords(), 0, 0, n)
 		dev.StoreRange(dst, 0, vals)
 	case dnn.QPool:
 		basePool(dev, q, tl.Name, src, dst)
@@ -66,7 +66,7 @@ func tapeBaseConv(dev *mcu.Device, img *core.Image, prog *tape.Program,
 	// Charges stay bulk (MACRange/StoreRange); the value computation runs
 	// over the raw backing words — Get has no side effects, so the hoist
 	// is unconditionally equivalent.
-	srcW, accW := src.Words(), acc.Words()
+	srcW, accW := src.ROWords(), acc.ROWords()
 	apply := func(widx int) {
 		wv := fixed.Q15(dev.Load(l.W, widx))
 		srcRow := int(tl.WSrc[widx])

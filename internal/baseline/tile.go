@@ -204,7 +204,7 @@ func (b *tileBuilder) build() (bool, error) {
 				}
 				c.Dev().Ops(mcu.OpBranch, nn)
 				c.ReadRange(src, lo, nn)
-				kern.ReLU(vals, src.Words(), 0, lo, nn)
+				kern.ReLU(vals, src.ROWords(), 0, lo, nn)
 				c.WriteRange(dst, lo, vals[:nn])
 			})
 			parity = !parity
@@ -414,9 +414,9 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 				if !first {
 					c.ReadRange(acc, pos0, n) // fresh, so it cannot decline
 					dev.Ops(mcu.OpFixedAdd, n)
-					kern.MACRow(vals, acc.Words(), src.Words(), pos0, srcStart, n, int64(wv))
+					kern.MACRow(vals, acc.ROWords(), src.ROWords(), pos0, srcStart, n, int64(wv))
 				} else {
-					kern.MulRow(vals, src.Words(), srcStart, n, int64(wv))
+					kern.MulRow(vals, src.ROWords(), srcStart, n, int64(wv))
 				}
 				c.WriteRange(acc, pos0, vals[:n])
 				lo += n
@@ -456,7 +456,7 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 			bq := fixed.Q15(l.B.Get(f))
 			c.ReadRange(acc, lo, n)
 			dev.Ops(mcu.OpFixedAdd, n)
-			kern.FinalizeConst(finVals, acc.Words(), int64(bq), 0, lo, n, q.Shift)
+			kern.FinalizeConst(finVals, acc.ROWords(), int64(bq), 0, lo, n, q.Shift)
 			c.WriteRange(dst, lo, finVals[:n])
 			lo += n
 		}
@@ -509,9 +509,9 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 			if i > 0 {
 				c.ReadRange(acc, o0, n)
 				dev.Ops(mcu.OpFixedAdd, n)
-				kern.DenseRow(vals, acc.Words(), l.W.Words(), o0, o0*q.In+i, q.In, n, int64(x))
+				kern.DenseRow(vals, acc.ROWords(), l.W.ROWords(), o0, o0*q.In+i, q.In, n, int64(x))
 			} else {
-				kern.DenseRowFirst(vals, l.W.Words(), o0*q.In+i, q.In, n, int64(x))
+				kern.DenseRowFirst(vals, l.W.ROWords(), o0*q.In+i, q.In, n, int64(x))
 			}
 			c.WriteRange(acc, o0, vals[:n])
 			lo += n
@@ -539,7 +539,7 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 		dev.LoadRange(l.B, lo, n)
 		c.ReadRange(acc, lo, n)
 		dev.Ops(mcu.OpFixedAdd, n)
-		kern.FinalizeVec(finVals, acc.Words(), l.B.Words(), 0, lo, n, q.Shift)
+		kern.FinalizeVec(finVals, acc.ROWords(), l.B.ROWords(), 0, lo, n, q.Shift)
 		c.WriteRange(dst, lo, finVals[:n])
 	})
 }

@@ -97,6 +97,27 @@ func namesFor(qm *dnn.QuantModel) []regionNames {
 	return v.([]regionNames)
 }
 
+// flash bulk-initializes a freshly allocated region from a typed host
+// table: one widening loop straight into the raw backing words, instead
+// of one Region.Put interface call per word. An observed bank (a journal
+// attached before deploy) falls back to the Put path so the observer
+// still sees every write.
+func flash[T ~int16 | ~int32](r *mem.Region, vs []T) {
+	if r == nil || len(vs) == 0 {
+		return
+	}
+	if r.Observed() {
+		for j, v := range vs {
+			r.Put(j, int64(v))
+		}
+		return
+	}
+	w := r.Words()
+	for j, v := range vs {
+		w[j] = int64(v)
+	}
+}
+
 // Deploy places a quantized model into the device's FRAM, allocating weight
 // regions and working buffers. It fails if the model does not fit — the
 // feasibility condition of GENESIS (§5.2).
@@ -148,21 +169,11 @@ func Deploy(dev *mcu.Device, qm *dnn.QuantModel) (*Image, error) {
 		}
 		// Host-side initialization: flashing the image is deploy-time work
 		// and consumes no harvested energy.
-		for j, w := range ql.W {
-			li.W.Put(j, int64(w))
-		}
-		for j, b := range ql.B {
-			li.B.Put(j, int64(b))
-		}
-		for j, nz := range ql.NZ {
-			li.NZ.Put(j, int64(nz))
-		}
-		for j, c := range ql.Cols {
-			li.Cols.Put(j, int64(c))
-		}
-		for j, r := range ql.RowPtr {
-			li.RowPtr.Put(j, int64(r))
-		}
+		flash(li.W, ql.W)
+		flash(li.B, ql.B)
+		flash(li.NZ, ql.NZ)
+		flash(li.Cols, ql.Cols)
+		flash(li.RowPtr, ql.RowPtr)
 		if ql.Kind == dnn.QConv && ql.NZ != nil {
 			if li.FinPar, err = alloc(nm.FinPar, ql.F, 2); err != nil {
 				return nil, err
@@ -231,11 +242,16 @@ func (img *Image) LoadInput(x []fixed.Q15) error {
 	if len(x) != img.Model.In.Len() {
 		return fmt.Errorf("core: input length %d, model wants %d", len(x), img.Model.In.Len())
 	}
-	for i, v := range x {
-		img.ActA.Put(i, int64(v))
-	}
-	for i := 0; i < CtlWords; i++ {
-		img.Ctl.Put(i, 0)
+	flash(img.ActA, x)
+	if img.Ctl.Observed() {
+		for i := 0; i < CtlWords; i++ {
+			img.Ctl.Put(i, 0)
+		}
+	} else {
+		w := img.Ctl.Words()
+		for i := range w {
+			w[i] = 0
+		}
 	}
 	return nil
 }

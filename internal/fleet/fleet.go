@@ -47,6 +47,15 @@ func simulate(ds DeviceSpec, m Model, rt core.Runtime, noFuse bool) (DeviceStats
 	if err != nil {
 		return DeviceStats{}, fmt.Errorf("fleet: deploy %s on device %d: %w", m.Net, ds.Index, err)
 	}
+	return runDevice(dev, img, ds, m, rt)
+}
+
+// runDevice drives one prepared (deployed, powered) device through its
+// inference and extracts the per-device stats. It is shared between the
+// fresh-deploy path above and the pooled provisioning path, so the two
+// can only diverge in how the device was prepared — which the
+// provisioned-≡-fresh oracle pins down.
+func runDevice(dev *mcu.Device, img *core.Image, ds DeviceSpec, m Model, rt core.Runtime) (DeviceStats, error) {
 	_, ierr := rt.Infer(img, m.Input)
 	st := dev.Stats()
 	out := DeviceStats{
@@ -188,11 +197,15 @@ func (a *Aggregates) Summary() Summary {
 	}
 }
 
-// Result is a finished (or snapshotted) campaign's output.
+// Result is a finished (or snapshotted) campaign's output. Provision
+// counts provisioning work (prototype/slot deploys, restores, page
+// traffic); unlike Agg it depends on worker scheduling, so it is not part
+// of the campaign's deterministic result.
 type Result struct {
-	Spec Spec
-	Done int
-	Agg  *Aggregates
+	Spec      Spec
+	Done      int
+	Agg       *Aggregates
+	Provision ProvisionStats
 }
 
 // shard is one logical aggregation unit. Exactly one worker owns a shard
@@ -209,8 +222,12 @@ type Campaign struct {
 	spec   Spec
 	models map[string]Model
 	rts    map[string]core.Runtime
+	protos map[string]*Prototype // nil when spec.Fresh
 	shards []*shard
 	done   atomic.Int64
+
+	provMu sync.Mutex
+	prov   ProvisionStats
 }
 
 // NewCampaign validates the spec against the model registry and prepares
@@ -226,6 +243,28 @@ func NewCampaign(spec Spec, models map[string]Model) (*Campaign, error) {
 			return nil, err
 		}
 		c.rts[name] = rt
+	}
+	if !spec.Fresh {
+		c.protos = make(map[string]*Prototype, len(spec.Models))
+		for _, name := range spec.Models {
+			if _, ok := c.protos[name]; ok {
+				continue
+			}
+			m := c.models[name]
+			if m.Proto != nil {
+				// A registry-cached prototype (the serve model cache builds
+				// one per prepared model) saves even the campaign's single
+				// prototype deploy.
+				c.protos[name] = m.Proto
+				continue
+			}
+			proto, err := NewPrototype(m)
+			if err != nil {
+				return nil, err
+			}
+			c.protos[name] = proto
+			c.prov.Prototypes++
+		}
 	}
 	c.shards = make([]*shard, spec.shardCount())
 	for i := range c.shards {
@@ -255,7 +294,10 @@ func (c *Campaign) Snapshot() (*Result, error) {
 			return nil, err
 		}
 	}
-	return &Result{Spec: c.spec, Done: int(c.done.Load()), Agg: agg}, nil
+	c.provMu.Lock()
+	prov := c.prov
+	c.provMu.Unlock()
+	return &Result{Spec: c.spec, Done: int(c.done.Load()), Agg: agg, Provision: prov}, nil
 }
 
 // Run sweeps the fleet across workers goroutines (GOMAXPROCS when <= 0).
@@ -281,12 +323,23 @@ func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker provisions its devices from a private pool: one
+			// reusable device per model, rewound by COW restore between
+			// devices. Pool state never crosses workers, and the simulation
+			// a device runs is bit-identical to a fresh deploy, so shard
+			// results stay a pure function of (spec, index).
+			pool := c.newPool()
+			defer func() {
+				c.provMu.Lock()
+				c.prov.Add(pool.stats)
+				c.provMu.Unlock()
+			}()
 			for {
 				s := int(next.Add(1) - 1)
 				if s >= len(c.shards) {
 					return
 				}
-				if errs[w] = c.runShard(ctx, s); errs[w] != nil {
+				if errs[w] = c.runShard(ctx, s, pool); errs[w] != nil {
 					cancel()
 					return
 				}
@@ -311,8 +364,9 @@ func (c *Campaign) Run(ctx context.Context, workers int) (*Result, error) {
 	return c.Snapshot()
 }
 
-// runShard simulates every device of shard s in index order.
-func (c *Campaign) runShard(ctx context.Context, s int) error {
+// runShard simulates every device of shard s in index order, provisioning
+// each from the owning worker's pool.
+func (c *Campaign) runShard(ctx context.Context, s int, pool *pool) error {
 	sh := c.shards[s]
 	stride := len(c.shards)
 	for i := s; i < c.spec.Devices; i += stride {
@@ -320,7 +374,7 @@ func (c *Campaign) runShard(ctx context.Context, s int) error {
 			return err
 		}
 		ds := c.spec.Device(i)
-		st, err := simulate(ds, c.models[ds.Model], c.rts[ds.Runtime], c.spec.NoFuse)
+		st, err := pool.simulate(ds, c.models[ds.Model], c.rts[ds.Runtime], c.spec.NoFuse)
 		if err != nil {
 			return err
 		}

@@ -3,7 +3,9 @@ package fleet_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/energy"
@@ -68,5 +70,91 @@ func TestFleetRealNetworks(t *testing.T) {
 	if !reflect.DeepEqual(tape.Agg.IMpJ.Centroids(), interp.Agg.IMpJ.Centroids()) ||
 		!reflect.DeepEqual(tape.Agg.RebootHist.Counts(), interp.Agg.RebootHist.Counts()) {
 		t.Fatal("tape fleet sketches/histograms diverge on real networks")
+	}
+}
+
+// TestProvisionedFleetBitIdentical is the provisioned-≡-fresh acceptance
+// oracle on the paper's real networks: a campaign whose every device pays
+// a full fresh deploy (Spec.Fresh) and the default campaign — devices
+// provisioned by COW restore-in-place into per-worker pools — must
+// produce bit-identical results at every worker count, down to sketch
+// centroids and histogram bins. CI greps for the per-worker-count subtest
+// PASS lines under -race.
+func TestProvisionedFleetBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network provisioning oracle needs quick-mode GENESIS preparation")
+	}
+	prepped, err := harness.PrepareAll(harness.PrepareOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make(map[string]fleet.Model, len(prepped))
+	names := make([]string, 0, len(prepped))
+	for _, p := range prepped {
+		models[p.Net] = fleet.Model{Net: p.Net, QM: p.Model, Input: p.Model.QuantizeInput(p.Input)}
+		names = append(names, p.Net)
+	}
+	spec := fleet.Spec{
+		Devices:  36, // two full model × runtime × power cross-products
+		Seed:     1,
+		Models:   names,
+		Runtimes: []string{"tile-32", "sonic", "tails"},
+		Powers: []fleet.PowerClass{
+			{Name: "rf-100uF", SystemSpec: energy.SystemSpec{Kind: "const", CapFarads: 100e-6}},
+			{Name: "cont", SystemSpec: energy.SystemSpec{Kind: "cont"}},
+		},
+		Tape: true,
+	}
+	type print struct {
+		Summary  fleet.Summary
+		IMpJ     []fleet.Centroid
+		FirstSec []fleet.Centroid
+		Reboots  []int64
+		Wasted   []int64
+		Done     int
+		EnergyPJ int64
+	}
+	printOf := func(r *fleet.Result) print {
+		return print{
+			Summary:  r.Agg.Summary(),
+			IMpJ:     r.Agg.IMpJ.Centroids(),
+			FirstSec: r.Agg.FirstSec.Centroids(),
+			Reboots:  r.Agg.RebootHist.Counts(),
+			Wasted:   r.Agg.WastedHist.Counts(),
+			Done:     r.Done,
+			EnergyPJ: r.Agg.EnergyPJ,
+		}
+	}
+
+	freshSpec := spec
+	freshSpec.Fresh = true
+	base, err := fleet.Run(context.Background(), freshSpec, models, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Agg.Summary().Completed == 0 {
+		t.Fatal("degenerate fresh baseline: no device completed")
+	}
+	want := printOf(base)
+
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		name := "workers-max"
+		if workers <= 4 {
+			name = fmt.Sprintf("workers-%d", workers)
+		}
+		t.Run(name, func(t *testing.T) {
+			r, err := fleet.Run(context.Background(), spec, models, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := printOf(r); !reflect.DeepEqual(got, want) {
+				a, _ := json.Marshal(want.Summary)
+				b, _ := json.Marshal(got.Summary)
+				t.Fatalf("provisioned fleet (workers=%d) diverges from fresh:\nfresh       %s\nprovisioned %s", workers, a, b)
+			}
+			if p := r.Provision; p.Restores != int64(spec.Devices) || p.FreshDeploys != 0 || p.Prototypes != int64(len(names)) {
+				t.Fatalf("provisioning counters off: %+v", r.Provision)
+			}
+		})
 	}
 }

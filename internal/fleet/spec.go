@@ -75,6 +75,13 @@ type Spec struct {
 	// executor choice, not campaign identity, and stays out of the hash.
 	// It exists for A/B verification and benchmarking.
 	NoFuse bool `json:"no_fuse,omitempty"`
+	// Fresh disables pooled COW provisioning: every device pays a full
+	// mcu.New + core.Deploy instead of a restore-in-place into its
+	// worker's device pool. Provisioned and fresh fleets are bit-identical
+	// (TestProvisionedFleetBitIdentical), so like Tape and NoFuse this is
+	// an executor choice, not campaign identity, and stays out of the
+	// hash. It exists for A/B verification and benchmarking.
+	Fresh bool `json:"fresh,omitempty"`
 }
 
 // DefaultShards is the logical shard count campaigns default to — enough
@@ -180,6 +187,7 @@ func (s *Spec) Hash() string {
 	norm.Shards = s.shardCount()
 	norm.Tape = false   // executor choice, not campaign identity
 	norm.NoFuse = false // likewise bit-exact, see TestFusedScalarDifferential
+	norm.Fresh = false  // likewise bit-exact, see TestProvisionedFleetBitIdentical
 	buf, err := json.Marshal(&norm)
 	if err != nil {
 		panic("fleet: spec does not marshal: " + err.Error())
@@ -191,10 +199,14 @@ func (s *Spec) Hash() string {
 // Model is one deployable network of the campaign's registry: a quantized
 // model plus the input sample every device of the fleet infers on. The
 // model is read-only during campaigns and safe to share across workers.
+// Proto, when set by the registry (the serve model cache builds it once
+// per prepared model), is the deploy-once provisioning prototype; when
+// nil, campaigns build their own.
 type Model struct {
 	Net   string
 	QM    *dnn.QuantModel
 	Input []fixed.Q15
+	Proto *Prototype
 }
 
 // RuntimeByName resolves a runtime name to a fresh instance: the fixed

@@ -222,25 +222,49 @@ func New(power energy.System) *Device {
 
 // NewWithMem returns a device over caller-provided memories.
 func NewWithMem(power energy.System, fram, sram *mem.Memory) *Device {
-	d := &Device{FRAM: fram, SRAM: sram, Power: power, Cost: DefaultCostModel()}
+	d := &Device{FRAM: fram, SRAM: sram, Cost: DefaultCostModel()}
 	for k := range d.costPJ {
 		d.costPJ[k] = energy.PicojoulesOf(d.Cost.Costs[k].EnergyNJ)
 	}
-	if pj, ok := power.(energy.PJConsumer); ok {
-		d.powerPJ = pj
-	}
-	if b, ok := power.(energy.BulkConsumer); ok {
-		d.bulkPower = b
-	}
+	d.bindPower(power)
+	d.stats.Sections = make(map[Section]*SectionStats)
+	d.SetSection("boot", PhaseControl)
+	return d
+}
+
+// bindPower installs the power system and re-probes the devirtualization
+// caches that depend on its concrete type.
+func (d *Device) bindPower(power energy.System) {
+	d.Power = power
+	d.powerPJ, _ = power.(energy.PJConsumer)
+	d.bulkPower, _ = power.(energy.BulkConsumer)
+	d.intPower, d.contPower = nil, false
 	switch p := power.(type) {
 	case *energy.Intermittent:
 		d.intPower = p
 	case energy.Continuous:
 		d.contPower = true
 	}
-	d.stats.Sections = make(map[Section]*SectionStats)
-	d.SetSection("boot", PhaseControl)
-	return d
+}
+
+// Reprovision resets the device for reuse by a new simulated instance: a
+// fresh power system is bound (re-probing the devirtualized fast paths),
+// and every piece of per-run mutable state outside the memory banks —
+// stats, section attribution, wasted-work mirrors, WAR verdicts,
+// progress/attempt bookkeeping — is cleared without reallocating the
+// banks or invalidating any *mem.Region pointer. Memory contents are the
+// caller's job (the fleet pool restores them from a prototype snapshot
+// before calling this). Observer configuration (journal, tracer, WAR
+// shadow) is not touched; pooled devices are expected to run bare, as
+// fleet simulations do.
+func (d *Device) Reprovision(power energy.System) {
+	d.bindPower(power)
+	d.warViolations = nil
+	d.warCount = 0
+	d.rebootsSinceProgress = 0
+	d.inAttempt = false
+	d.wastedTrack = false
+	d.ResetStats()
 }
 
 // Stats returns the accumulated statistics. Derived accumulators (cycles

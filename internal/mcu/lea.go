@@ -36,7 +36,7 @@ func (d *Device) DMA(dst *mem.Region, dstOff int, src *mem.Region, srcOff, n int
 	funded := d.chargeOps(OpDMAWord, n)
 	if d.journal == nil && d.shadow == nil {
 		// Bulk move over raw words; SetRange keeps any Put observer fed.
-		dst.SetRange(dstOff, src.Words()[srcOff:srcOff+funded])
+		dst.SetRange(dstOff, src.ROWords()[srcOff:srcOff+funded])
 		if funded < n {
 			d.brownOut(OpDMAWord)
 		}
@@ -91,7 +91,7 @@ func (d *Device) LEAMacV(x *mem.Region, xOff int, y *mem.Region, yOff, n int) fi
 	d.Ops(OpLEAElem, n)
 	// Reads only — no observer or WAR shadow sees SRAM Gets, so the raw
 	// word loop is unconditionally equivalent.
-	return fixed.Acc(kern.DotQ15(x.Words(), y.Words(), xOff, yOff, n))
+	return fixed.Acc(kern.DotQ15(x.ROWords(), y.ROWords(), xOff, yOff, n))
 }
 
 // LEAFIR computes a 1-D FIR discrete-time convolution:
@@ -114,7 +114,7 @@ func (d *Device) LEAFIR(out *mem.Region, outOff int, in *mem.Region, inOff int,
 	// lost at brown-out, so the charge/compute order is unobservable.
 	d.Ops(OpLEAElem, outN*coefN)
 	if !out.Observed() {
-		kern.FIR(out.Words(), in.Words(), coef.Words(), outOff, inOff, coefOff, coefN, outN)
+		kern.FIR(out.Words(), in.ROWords(), coef.ROWords(), outOff, inOff, coefOff, coefN, outN)
 		return
 	}
 	for i := 0; i < outN; i++ {
@@ -139,7 +139,7 @@ func (d *Device) LEAAddV(dst *mem.Region, dstOff int, a *mem.Region, aOff int,
 	d.Op(OpLEAInvoke)
 	d.Ops(OpLEAElem, n) // bulk charge; SRAM-only effects (see LEAMacV)
 	if !dst.Observed() {
-		kern.AddSatV(dst.Words(), a.Words(), b.Words(), dstOff, aOff, bOff, n)
+		kern.AddSatV(dst.Words(), a.ROWords(), b.ROWords(), dstOff, aOff, bOff, n)
 		return
 	}
 	for i := 0; i < n; i++ {

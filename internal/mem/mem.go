@@ -78,6 +78,15 @@ type Region struct {
 	kind      Kind // copy of mem.kind, so Kind() avoids the pointer chase
 	words     []int64
 	obs       PutObserver
+
+	// dirty records whether the region may have been written since the
+	// last Snapshot.RestoreInPlace over its bank. Every write path sets it
+	// — Put, SetRange, ClearVolatile, and Words (which hands out a
+	// writable slice, so it must assume the worst) — while the read-only
+	// ROWords view does not, which is what lets a pooled fleet device skip
+	// its weight tables entirely on re-provisioning: kernels only ever
+	// read them through ROWords, so they stay clean.
+	dirty bool
 }
 
 // Alloc reserves a region of n words of elemBytes each, or fails if the
@@ -165,6 +174,7 @@ func (m *Memory) ClearVolatile() {
 		return
 	}
 	for _, r := range m.regions {
+		r.dirty = true
 		for i := range r.words {
 			r.words[i] = 0
 		}
@@ -187,13 +197,30 @@ func (r *Region) Put(i int, v int64) {
 	if r.obs != nil {
 		r.obs.OnPut(r, i, v)
 	}
+	r.dirty = true
 	r.words[i] = v
 }
 
 // Words exposes the raw storage for host-side bulk initialization and for
 // the device model's fused kernels, which operate on the backing slice
-// directly after charging the whole loop (see internal/kern).
-func (r *Region) Words() []int64 { return r.words }
+// directly after charging the whole loop (see internal/kern). The slice is
+// writable, so the region is conservatively marked dirty; code that only
+// reads should use ROWords instead.
+func (r *Region) Words() []int64 {
+	r.dirty = true
+	return r.words
+}
+
+// ROWords exposes the raw storage for read-only access — fused kernels'
+// source operands, weight tables, host-side inspection. Callers must not
+// write through it: writes would evade the dirty tracking that
+// Snapshot.RestoreInPlace relies on to skip untouched regions.
+func (r *Region) ROWords() []int64 { return r.words }
+
+// Dirty reports whether the region may have been written since it was
+// allocated or last restored by RestoreInPlace, whichever came later.
+// Provisioning observability and tests only.
+func (r *Region) Dirty() bool { return r.dirty }
 
 // Observed reports whether a PutObserver is attached. Bulk writers that
 // bypass Put (fused kernels writing through Words) must check it and
@@ -204,6 +231,7 @@ func (r *Region) Observed() bool { return r.obs != nil }
 // SetRange writes vs into words [i, i+len(vs)) with the same observer
 // semantics as len(vs) ascending Put calls.
 func (r *Region) SetRange(i int, vs []int64) {
+	r.dirty = true
 	if r.obs != nil {
 		for j, v := range vs {
 			r.obs.OnPut(r, i+j, v)

@@ -91,9 +91,10 @@ func (s *Snapshot) RestoreTo(m *Memory) error {
 			m.kind, len(s.regions), len(m.regions))
 	}
 	for ri, rs := range s.regions {
-		words := m.regions[ri].words
+		r := m.regions[ri]
+		r.dirty = true
 		for p, page := range rs.pages {
-			copy(words[p*SnapPageWords:], page)
+			copy(r.words[p*SnapPageWords:], page)
 		}
 	}
 	return nil

@@ -29,9 +29,10 @@ type ModelSource interface {
 type ModelCache struct {
 	po harness.PrepareOptions
 
-	mu       sync.Mutex
-	entries  map[string]*modelEntry
-	prepares int64
+	mu         sync.Mutex
+	entries    map[string]*modelEntry
+	prepares   int64
+	prototypes int64
 }
 
 // modelEntry is one model's singleflight slot: ready closes when the
@@ -70,26 +71,39 @@ func (c *ModelCache) Model(name string) (fleet.Model, error) {
 		delete(c.entries, name)
 	} else {
 		c.prepares++
+		c.prototypes++
 	}
 	c.mu.Unlock()
 	return e.m, e.err
 }
 
-// build constructs one model, outside any lock.
+// build constructs one model, outside any lock. Every cached model ships
+// with its provisioning prototype, so campaigns referencing it restore
+// pooled devices from the cache's deploy-once snapshots instead of each
+// building their own (and the campaign-side Prototypes counter stays at
+// zero for served jobs — the cache's prototype count is the source of
+// truth).
 func (c *ModelCache) build(name string) (fleet.Model, error) {
+	var m fleet.Model
 	switch {
 	case name == "tiny":
 		qm, x := intermittest.TinyModel(c.po.Seed)
-		return fleet.Model{Net: "tiny", QM: qm, Input: qm.QuantizeInput(x)}, nil
+		m = fleet.Model{Net: "tiny", QM: qm, Input: qm.QuantizeInput(x)}
 	case slices.Contains(harness.Networks(), name):
 		p, err := harness.Prepare(name, c.po)
 		if err != nil {
 			return fleet.Model{}, fmt.Errorf("serve: preparing %s: %w", name, err)
 		}
-		return fleet.Model{Net: name, QM: p.Model, Input: p.QuantInput()}, nil
+		m = fleet.Model{Net: name, QM: p.Model, Input: p.QuantInput()}
 	default:
 		return fleet.Model{}, fmt.Errorf("serve: unknown model %q (have tiny, %v)", name, harness.Networks())
 	}
+	proto, err := fleet.NewPrototype(m)
+	if err != nil {
+		return fleet.Model{}, err
+	}
+	m.Proto = proto
+	return m, nil
 }
 
 // Prepares reports how many distinct models have been built — jobs
@@ -98,6 +112,22 @@ func (c *ModelCache) Prepares() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.prepares
+}
+
+// CacheStats is the model cache's counter snapshot, served on /stats.
+type CacheStats struct {
+	// Models is the number of distinct models built and cached.
+	Models int64 `json:"models"`
+	// Prototypes is the number of deploy-once provisioning prototypes
+	// built alongside them (one per cached model).
+	Prototypes int64 `json:"prototypes"`
+}
+
+// CacheStats returns the counter snapshot.
+func (c *ModelCache) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Models: c.prepares, Prototypes: c.prototypes}
 }
 
 // registry resolves a spec's model list into the map fleet campaigns

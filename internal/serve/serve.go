@@ -9,6 +9,7 @@
 //	GET    /jobs/{id} progress + aggregates      (streamed while running)
 //	DELETE /jobs/{id} cancel a queued/running job
 //	GET    /healthz   liveness + counters
+//	GET    /stats     counters + model-cache + provisioning detail
 package serve
 
 import (
@@ -107,6 +108,9 @@ type Server struct {
 	deduped   atomic.Int64
 	campaigns atomic.Int64
 	devices   atomic.Int64
+
+	provMu sync.Mutex
+	prov   fleet.ProvisionStats
 }
 
 // New returns a Server with its job runner started.
@@ -167,6 +171,9 @@ func (s *Server) finalize(j *job, st Status, res *fleet.Result, err error) {
 		v := res.Agg.Summary()
 		sum, done = &v, res.Done
 		s.devices.Add(int64(res.Agg.Devices))
+		s.provMu.Lock()
+		s.prov.Add(res.Provision)
+		s.provMu.Unlock()
 	}
 	j.mu.Lock()
 	j.status, j.err, j.summary, j.done = st, err, sum, done
@@ -196,21 +203,28 @@ func (s *Server) retire(j *job) {
 }
 
 // Stats is the server's cumulative counter snapshot. The lifecycle tests
-// use it to prove duplicate jobs are answered without re-simulation.
+// use it to prove duplicate jobs are answered without re-simulation, and
+// the provisioning tests that pooled campaigns restore devices instead of
+// re-deploying them.
 type Stats struct {
-	Submitted        int64 `json:"submitted"`
-	Deduped          int64 `json:"deduped"`
-	CampaignsRun     int64 `json:"campaigns_run"`
-	DevicesSimulated int64 `json:"devices_simulated"`
+	Submitted        int64                `json:"submitted"`
+	Deduped          int64                `json:"deduped"`
+	CampaignsRun     int64                `json:"campaigns_run"`
+	DevicesSimulated int64                `json:"devices_simulated"`
+	Provision        fleet.ProvisionStats `json:"provision"`
 }
 
 // Stats returns the counter snapshot.
 func (s *Server) Stats() Stats {
+	s.provMu.Lock()
+	prov := s.prov
+	s.provMu.Unlock()
 	return Stats{
 		Submitted:        s.submitted.Load(),
 		Deduped:          s.deduped.Load(),
 		CampaignsRun:     s.campaigns.Load(),
 		DevicesSimulated: s.devices.Load(),
+		Provision:        prov,
 	}
 }
 
@@ -242,6 +256,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
@@ -270,6 +285,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"jobs":     jobs,
 		"stats":    s.Stats(),
 	})
+}
+
+// handleStats serves the observability rollup: the server's cumulative
+// counters (including fleet provisioning work — restores, page traffic,
+// fresh deploys) plus the model cache's build counters when the model
+// source exposes them.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	doc := map[string]any{
+		"jobs":  jobs,
+		"stats": s.Stats(),
+	}
+	if mc, ok := s.models.(interface{ CacheStats() CacheStats }); ok {
+		doc["model_cache"] = mc.CacheStats()
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // jobDoc is the wire form of a job's state.

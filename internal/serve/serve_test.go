@@ -597,3 +597,46 @@ func TestServeQueueFull(t *testing.T) {
 		t.Fatal("queue never pushed back with 503")
 	}
 }
+
+// TestServeStatsEndpoint: /stats rolls up the server counters, the fleet
+// provisioning work of finished campaigns, and the model cache's build
+// counters — and proves served jobs provision from the cache's prototype
+// (pooled restores, no fresh deploys, no campaign-built prototypes).
+func TestServeStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	d, code := postSpec(t, ts, tinySpec(64))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitStatus(t, ts, d.ID, StatusDone)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var doc struct {
+		Jobs       int        `json:"jobs"`
+		Stats      Stats      `json:"stats"`
+		ModelCache CacheStats `json:"model_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Jobs != 1 || doc.Stats.CampaignsRun != 1 || doc.Stats.DevicesSimulated != 64 {
+		t.Fatalf("stats counters off: %+v", doc)
+	}
+	p := doc.Stats.Provision
+	if p.Restores != 64 || p.FreshDeploys != 0 {
+		t.Fatalf("served campaign did not provision from the pool: %+v", p)
+	}
+	if p.Prototypes != 0 {
+		t.Fatalf("campaign built %d prototypes despite the model cache providing one", p.Prototypes)
+	}
+	if doc.ModelCache != (CacheStats{Models: 1, Prototypes: 1}) {
+		t.Fatalf("model cache counters = %+v", doc.ModelCache)
+	}
+}

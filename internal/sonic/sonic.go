@@ -259,7 +259,7 @@ func (s *Exec) RunLayerSoftware(li int, parity bool, start Cursor) {
 				mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 1},
 				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
 		}
-		srcW, dstW := src.Words(), dst.Words()
+		srcW, dstW := src.ROWords(), dst.Words()
 		s.fuseMap(tokK, tokC, blk, per, start, l.Q.InShape.Len(), func(i0, m int) {
 			kern.ReLU(dstW, srcW, i0, i0, m)
 		}, func(i int) {
@@ -442,7 +442,7 @@ func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region,
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
 	}
 	if start.Pass == 0 {
-		wW := l.W.Words()
+		wW := l.W.ROWords()
 		for pos := start.Pos; pos < q.In; pos++ {
 			dev.SetSection(name, mcu.PhaseControl)
 			x := fixed.Q15(dev.Load(src, pos))
@@ -461,7 +461,7 @@ func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region,
 						if pos == 0 {
 							kern.DenseFirst(dest.Words(), wW, q.In, pos, o, m, int64(x))
 						} else {
-							kern.DenseMAC(dest.Words(), inter.Words(), wW, q.In, pos, o, m, int64(x))
+							kern.DenseMAC(dest.Words(), inter.ROWords(), wW, q.In, pos, o, m, int64(x))
 						}
 						o += m
 						s.fuseCommit(Cursor{Layer: start.Layer, Pos: pos, I: o})
@@ -496,7 +496,7 @@ func (s *Exec) denseLayer(l *core.LayerImage, name string, src, dst *mem.Region,
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
 	}
-	finalW, bW, dstW := final.Words(), l.B.Words(), dst.Words()
+	finalW, bW, dstW := final.ROWords(), l.B.ROWords(), dst.Words()
 	s.fuseMap(tokK, tokC, blkFin, per, start, q.Out, func(i0, m int) {
 		kern.FinalizeVec(dstW, finalW, bW, i0, i0, m, q.Shift)
 	}, func(o int) {
@@ -575,7 +575,7 @@ func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region
 				}
 				if rowEnd > pos && int(ctl.Get(slotRead)) <= pos {
 					if m := s.Dev.ChargeBlock(blkRow, rowEnd-pos); m > 0 {
-						final, canon := kern.CSRRow(l.W.Words(), l.Cols.Words(), src.Words(), pos, m, acc.Get(row))
+						final, canon := kern.CSRRow(l.W.ROWords(), l.Cols.ROWords(), src.ROWords(), pos, m, acc.Get(row))
 						pos += m
 						ctl.Put(slotCanonical, canon)
 						ctl.Put(slotRead, int64(pos))
@@ -627,7 +627,7 @@ func (s *Exec) sparseLayer(l *core.LayerImage, name string, src, dst *mem.Region
 				mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
 				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
 		}
-		accW, bW, dstW := acc.Words(), l.B.Words(), dst.Words()
+		accW, bW, dstW := acc.ROWords(), l.B.ROWords(), dst.Words()
 		s.fuseMap(tokK, tokC, blkFin, per, start, q.Out, func(i0, m int) {
 			kern.FinalizeVec(dstW, accW, bW, i0, i0, m, q.Shift)
 		}, func(o int) {

@@ -84,7 +84,7 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
 	}
-	srcW := src.Words()
+	srcW := src.ROWords()
 
 	if start.Pass == 0 {
 		for pos := start.Pos; pos < tl.Elems; pos++ {
@@ -116,7 +116,7 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 						if firstOfFilter {
 							kern.ConvFirst(dest.Words(), srcW, base, srcBase, posOff, i, m, int64(wv))
 						} else {
-							kern.ConvMAC(dest.Words(), inter.Words(), srcW, base, srcBase, posOff, i, m, int64(wv))
+							kern.ConvMAC(dest.Words(), inter.ROWords(), srcW, base, srcBase, posOff, i, m, int64(wv))
 						}
 						i += m
 						s.fuseCommit(Cursor{Layer: start.Layer, Pos: pos, I: i})
@@ -201,7 +201,7 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 				var finalW []int64
 				if par >= 0 {
 					final, _ := AccBufs(s.Img, int(par))
-					finalW = final.Words()
+					finalW = final.ROWords()
 				}
 				kern.FinalizeConst(dstW, finalW, l.B.Get(f), i, i, m, q.Shift)
 				i += m
@@ -250,7 +250,7 @@ func (s *Exec) tapePoolLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: win},
 			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
 	}
-	srcW, dstW := src.Words(), dst.Words()
+	srcW, dstW := src.ROWords(), dst.Words()
 	s.fuseMap(tokK, tokC, blk, per, start, len(poolBase), func(i0, m int) {
 		kern.MaxPool(dstW, srcW, poolBase, q.Window, w, i0, m)
 	}, func(i int) {

@@ -259,7 +259,7 @@ func (t TAILS) blockIn(dev *mcu.Device, dst *mem.Region, dstOff int, src *mem.Re
 		// interleaved scalar loop. The funded store prefix still leaves
 		// the partial destination loop-ordered buffering tolerates.
 		dev.LoadRange(src, srcOff, n)
-		dev.StoreRange(dst, dstOff, src.Words()[srcOff:srcOff+n])
+		dev.StoreRange(dst, dstOff, src.ROWords()[srcOff:srcOff+n])
 		return
 	}
 	dev.DMA(dst, dstOff, src, srcOff, n)
@@ -286,7 +286,7 @@ func (t TAILS) fir(dev *mcu.Device, out *mem.Region, outOff int, in *mem.Region,
 	dev.Ops(mcu.OpLoadSRAM, 2*total)
 	dev.Ops(mcu.OpStoreSRAM, outN)
 	if !out.Observed() {
-		kern.FIR(out.Words(), in.Words(), coef.Words(), outOff, inOff, coefOff, coefN, outN)
+		kern.FIR(out.Words(), in.ROWords(), coef.ROWords(), outOff, inOff, coefOff, coefN, outN)
 		return
 	}
 	for i := 0; i < outN; i++ {
@@ -307,7 +307,7 @@ func (t TAILS) macv(dev *mcu.Device, x *mem.Region, xOff int, y *mem.Region, yOf
 	dev.Ops(mcu.OpFixedMul, n)
 	dev.Ops(mcu.OpFixedAdd, n)
 	dev.Ops(mcu.OpLoadSRAM, 2*n)
-	return fixed.Acc(kern.DotQ15(x.Words(), y.Words(), xOff, yOff, n))
+	return fixed.Acc(kern.DotQ15(x.ROWords(), y.ROWords(), xOff, yOff, n))
 }
 
 // addv saturating-adds n Q15 elements (dst = a + b) on LEA or in software.
@@ -321,7 +321,7 @@ func (t TAILS) addv(dev *mcu.Device, dst *mem.Region, dstOff int, a *mem.Region,
 	dev.Ops(mcu.OpLoadSRAM, 2*n)
 	dev.Ops(mcu.OpStoreSRAM, n)
 	if !dst.Observed() {
-		kern.AddSatV(dst.Words(), a.Words(), b.Words(), dstOff, aOff, bOff, n)
+		kern.AddSatV(dst.Words(), a.ROWords(), b.ROWords(), dstOff, aOff, bOff, n)
 		return
 	}
 	for i := 0; i < n; i++ {

@@ -126,7 +126,7 @@ func (t TAILS) tapeConvLayer(s *sonic.Exec, sc *scratch, l *core.LayerImage, tl 
 		mcu.BlockOp{Tok: tokK, Kind: mcu.OpAdd, N: adds},
 		mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
 		mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
-	finalW, bW, dstW := final.Words(), l.B.Words(), dst.Words()
+	finalW, bW, dstW := final.ROWords(), l.B.ROWords(), dst.Words()
 	s.FuseMapTok(tokK, tokC, blk, per, start, q.F*q.OutShape[1]*ow, func(i0, m int) {
 		for i := i0; i < i0+m; i++ {
 			v := fixed.Q15(finalW[i])

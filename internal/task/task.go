@@ -193,6 +193,11 @@ func (rt *Runtime) Run() error {
 		if rt.dev.Load(rt.state, stPhase) == phaseCommit {
 			rt.replayAndFinish()
 		}
+		// One Ctx serves every dispatch: it escapes into the task bodies,
+		// so allocating it per task would otherwise dominate the steady
+		// state heap traffic of a pooled fleet (thousands of dispatches
+		// per inference).
+		ctx := Ctx{rt: rt}
 		for {
 			cur := ID(rt.dev.Load(rt.state, stCur))
 			if cur == Done {
@@ -206,7 +211,7 @@ func (rt *Runtime) Run() error {
 			rt.dev.Emit(mcu.TraceTaskBegin, rt.tasks[cur].name, int64(cur))
 			rt.dev.Store(rt.state, stCount, 0)
 			rt.clearWriteSet()
-			next := rt.tasks[cur].f(&Ctx{rt: rt})
+			next := rt.tasks[cur].f(&ctx)
 			rt.commit(next)
 		}
 	})
