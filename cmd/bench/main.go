@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	bench                      # measure and write BENCH_PR9.json
+//	bench                      # measure and write BENCH_PR10.json
 //	bench -count 5 -out /tmp/b.json
 package main
 
@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"reflect"
 	"runtime"
@@ -26,11 +27,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/energy"
+	"repro/internal/fixed"
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/intermittest"
 	"repro/internal/mcu"
 	"repro/internal/prof"
+	"repro/internal/sonic"
 )
 
 // preBulkFig9NsPerOp is BenchmarkFig9 at the commit before the bulk-charge
@@ -50,6 +53,12 @@ const pr7FleetTapeDevPerSec float64 = 264.8
 // — both the bulk flash and pooled provisioning landed after it). Kept
 // for the throughput trajectory next to the live fresh/pooled A/B.
 const pr8FleetTapeDevPerSec float64 = 744.4
+
+// pr9FleetTapeDevPerSec is the fused tape fleet sweep's throughput
+// recorded in BENCH_PR9.json on the reference machine (600 real-network
+// devices, one worker, pooled provisioning). The sparse row-walk PR's
+// goal is >= 1.3x this absolute figure.
+const pr9FleetTapeDevPerSec float64 = 762.0
 
 // preForkCampaignNsPerOp is the full WAR-armed fuzz campaign at the commit
 // before snapshot-and-fork checking (8a0846c), recorded in BENCH_PR3.json
@@ -197,6 +206,30 @@ type report struct {
 		Identical           bool     `json:"identical"`
 		Iterations          int      `json:"iterations"`
 	} `json:"provision"`
+
+	// Sparse is the sparse row-walk + op-path PR's section. The fleet
+	// figures restate the tape sweep's minimum against BENCH_PR9's
+	// recorded throughput (the >= 1.3x bar is asserted in-binary, on
+	// byte-identical summaries enforced by the paired harness). The layer
+	// pair isolates the CSR row walk itself: a synthetic sparse-heavy
+	// model — one large SparseDense layer holding nearly all the work —
+	// run on SONIC interpreted (per-nonzero row walk, binary row search)
+	// versus SONIC tape (compiled row-span trains through kern.CSRSpans),
+	// with logits and RunResults bit-equal between the executors.
+	Sparse struct {
+		FleetDevices       int     `json:"fleet_devices"`
+		FleetTapeDevPerSec float64 `json:"fleet_tape_devices_per_sec"`
+		PR9FleetDevPerSec  float64 `json:"pr9_fleet_tape_devices_per_sec"`
+		FleetGain          float64 `json:"fleet_gain_vs_pr9"`
+		LayerRows          int     `json:"layer_rows"`
+		LayerCols          int     `json:"layer_cols"`
+		LayerNonzeros      int     `json:"layer_nonzeros"`
+		LayerInterpNsPerOp int64   `json:"layer_interp_ns_per_op"`
+		LayerTapeNsPerOp   int64   `json:"layer_tape_ns_per_op"`
+		LayerSpeedup       float64 `json:"layer_speedup"`
+		Identical          bool    `json:"identical"`
+		Iterations         int     `json:"iterations"`
+	} `json:"sparse"`
 }
 
 type fleetPoint struct {
@@ -209,7 +242,7 @@ var profiler = prof.RegisterFlags()
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR9.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR10.json", "output JSON path")
 		count = flag.Int("count", 3, "timed iterations per workload")
 		seed  = flag.Uint64("seed", 1, "model seed")
 	)
@@ -484,42 +517,9 @@ func main() {
 	tapeSpec.Tape = true
 	fmt.Fprintf(os.Stderr, "bench: fleet campaign interpreted vs tape (%d real-network devices, 1 worker), paired × %d...\n",
 		realFleetDevices, *count)
-	var minFleetInterp, minFleetTape time.Duration
 	var realSummary []byte
-	for i := 0; i < *count; i++ {
-		t0 := time.Now()
-		interpFleet, err := fleet.Run(context.Background(), realSpec, realModels, 1)
-		if err != nil {
-			fail(err)
-		}
-		dI := time.Since(t0)
-		t0 = time.Now()
-		tapeFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 1)
-		if err != nil {
-			fail(err)
-		}
-		dT := time.Since(t0)
-		interpSum, err := json.Marshal(interpFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		tapeSum, err := json.Marshal(tapeFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		if realSummary == nil {
-			realSummary = interpSum
-		}
-		if string(interpSum) != string(realSummary) || string(tapeSum) != string(realSummary) {
-			fail(fmt.Errorf("tape fleet aggregates differ from the interpreted baseline"))
-		}
-		if i == 0 || dI < minFleetInterp {
-			minFleetInterp = dI
-		}
-		if i == 0 || dT < minFleetTape {
-			minFleetTape = dT
-		}
-	}
+	realMins, _ := pairedFleetMin(*count, 1, realModels, &realSummary, realSpec, tapeSpec)
+	minFleetInterp, minFleetTape := realMins[0], realMins[1]
 	rep.Tape.FleetDevices = realFleetDevices
 	rep.Tape.FleetNets = realNets
 	rep.Tape.FleetInterpDevPerSec = float64(realFleetDevices) / minFleetInterp.Seconds()
@@ -574,38 +574,8 @@ func main() {
 	scalarTapeSpec.NoFuse = true
 	fmt.Fprintf(os.Stderr, "bench: fleet campaign fused vs scalar (%d real-network devices, 1 worker), paired × %d...\n",
 		realFleetDevices, *count)
-	var minFleetScalar, minFleetFused time.Duration
-	for i := 0; i < *count; i++ {
-		t0 := time.Now()
-		scalarFleet, err := fleet.Run(context.Background(), scalarTapeSpec, realModels, 1)
-		if err != nil {
-			fail(err)
-		}
-		dS := time.Since(t0)
-		t0 = time.Now()
-		fusedFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 1)
-		if err != nil {
-			fail(err)
-		}
-		dF := time.Since(t0)
-		scalarSum, err := json.Marshal(scalarFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		fusedSum, err := json.Marshal(fusedFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		if string(scalarSum) != string(realSummary) || string(fusedSum) != string(realSummary) {
-			fail(fmt.Errorf("fused fleet aggregates differ from the interpreted baseline"))
-		}
-		if i == 0 || dS < minFleetScalar {
-			minFleetScalar = dS
-		}
-		if i == 0 || dF < minFleetFused {
-			minFleetFused = dF
-		}
-	}
+	kernelMins, _ := pairedFleetMin(*count, 1, realModels, &realSummary, scalarTapeSpec, tapeSpec)
+	minFleetScalar, minFleetFused := kernelMins[0], kernelMins[1]
 	rep.Kernels.FleetDevices = realFleetDevices
 	rep.Kernels.FleetNets = realNets
 	rep.Kernels.FleetScalarDevPerSec = float64(realFleetDevices) / minFleetScalar.Seconds()
@@ -624,25 +594,8 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "bench: fleet campaign fused (%d real-network devices, 4 workers) × %d...\n",
 		realFleetDevices, *count)
-	var minFleetFused4 time.Duration
-	for i := 0; i < *count; i++ {
-		t0 := time.Now()
-		fusedFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 4)
-		if err != nil {
-			fail(err)
-		}
-		d4 := time.Since(t0)
-		sum, err := json.Marshal(fusedFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		if string(sum) != string(realSummary) {
-			fail(fmt.Errorf("fused fleet aggregates at 4 workers differ from the 1-worker baseline"))
-		}
-		if i == 0 || d4 < minFleetFused4 {
-			minFleetFused4 = d4
-		}
-	}
+	fused4Mins, _ := pairedFleetMin(*count, 4, realModels, &realSummary, tapeSpec)
+	minFleetFused4 := fused4Mins[0]
 	rep.Kernels.FleetWorkers = append(rep.Kernels.FleetWorkers, fleetPoint{
 		Workers: 4, NsPerOp: minFleetFused4.Nanoseconds(),
 		DevicesPerSec: float64(realFleetDevices) / minFleetFused4.Seconds(),
@@ -655,44 +608,13 @@ func main() {
 	freshTapeSpec.Fresh = true
 	fmt.Fprintf(os.Stderr, "bench: fleet campaign fresh vs pooled provisioning (%d real-network devices, 1 worker), paired × %d...\n",
 		realFleetDevices, *count)
-	var minFleetFresh, minFleetPooled time.Duration
-	var pooledProv fleet.ProvisionStats
-	for i := 0; i < *count; i++ {
-		t0 := time.Now()
-		freshFleet, err := fleet.Run(context.Background(), freshTapeSpec, realModels, 1)
-		if err != nil {
-			fail(err)
-		}
-		dF := time.Since(t0)
-		t0 = time.Now()
-		pooledFleet, err := fleet.Run(context.Background(), tapeSpec, realModels, 1)
-		if err != nil {
-			fail(err)
-		}
-		dP := time.Since(t0)
-		freshSum, err := json.Marshal(freshFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		pooledSum, err := json.Marshal(pooledFleet.Agg.Summary())
-		if err != nil {
-			fail(err)
-		}
-		if string(freshSum) != string(realSummary) || string(pooledSum) != string(realSummary) {
-			fail(fmt.Errorf("pooled fleet aggregates differ from the fresh-deploy baseline"))
-		}
-		if freshFleet.Provision.FreshDeploys != realFleetDevices || pooledFleet.Provision.Restores != realFleetDevices {
-			fail(fmt.Errorf("provisioning counters off: fresh %+v pooled %+v",
-				freshFleet.Provision, pooledFleet.Provision))
-		}
-		if i == 0 || dF < minFleetFresh {
-			minFleetFresh = dF
-		}
-		if i == 0 || dP < minFleetPooled {
-			minFleetPooled = dP
-			pooledProv = pooledFleet.Provision
-		}
+	provMins, provBest := pairedFleetMin(*count, 1, realModels, &realSummary, freshTapeSpec, tapeSpec)
+	minFleetFresh, minFleetPooled := provMins[0], provMins[1]
+	if provBest[0].Provision.FreshDeploys != realFleetDevices || provBest[1].Provision.Restores != realFleetDevices {
+		fail(fmt.Errorf("provisioning counters off: fresh %+v pooled %+v",
+			provBest[0].Provision, provBest[1].Provision))
 	}
+	pooledProv := provBest[1].Provision
 	rep.Provision.FleetDevices = realFleetDevices
 	rep.Provision.FleetNets = realNets
 	rep.Provision.FreshDevPerSec = float64(realFleetDevices) / minFleetFresh.Seconds()
@@ -764,6 +686,76 @@ func main() {
 	rep.Provision.ProvPooledDevPerSec = float64(nProv) / minProvPooled.Seconds()
 	rep.Provision.ProvSpeedup = float64(minProvFresh) / float64(minProvPooled)
 
+	// Sparse row-walk section. The fleet side restates the tape sweep's
+	// paired minimum (measured above, byte-identical summaries enforced)
+	// against BENCH_PR9's recorded figure. The layer pair isolates the
+	// row walk: SONIC interpreted (per-nonzero binary row search) versus
+	// SONIC tape (compiled row-span trains) on a model that is almost
+	// entirely one big SparseDense layer, at continuous power, with reps
+	// batched per timed side to stay well above timer resolution.
+	qmSparse, xSparse := sparseHeavyModel(*seed)
+	qs := &qmSparse.Layers[0]
+	inputSparse := qmSparse.QuantizeInput(xSparse)
+	contPow := harness.Powers()[0]
+	const sparseReps = 50
+	fmt.Fprintf(os.Stderr, "bench: sparse layer interpreted vs tape (SONIC, %dx%d, %d nonzeros), paired × %d...\n",
+		qs.Out, qs.In, int(qs.RowPtr[qs.Out]), *count)
+	sparseOnce := func(rt core.Runtime) (time.Duration, []harness.RunResult) {
+		results := make([]harness.RunResult, 0, sparseReps)
+		start := time.Now()
+		for r := 0; r < sparseReps; r++ {
+			res, err := harness.Measure("sparse-heavy", qmSparse, rt, contPow, inputSparse)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, res)
+		}
+		return time.Since(start), results
+	}
+	var minLayerInterp, minLayerTape time.Duration
+	for i := 0; i < *count; i++ {
+		dI, resI := sparseOnce(sonic.SONIC{})
+		dT, resT := sparseOnce(sonic.SONIC{Tape: true})
+		if !reflect.DeepEqual(resI, resT) {
+			fail(fmt.Errorf("tape row-span trains changed sparse-heavy results — bit-exactness broken"))
+		}
+		if i == 0 || dI < minLayerInterp {
+			minLayerInterp = dI
+		}
+		if i == 0 || dT < minLayerTape {
+			minLayerTape = dT
+		}
+	}
+	// RunResult equality covers stats and the prediction; pin the raw
+	// logits too, once per executor.
+	logitsOf := func(rt core.Runtime) []fixed.Q15 {
+		dev := mcu.New(energy.Continuous{})
+		img, err := core.Deploy(dev, qmSparse)
+		if err != nil {
+			fail(err)
+		}
+		lg, err := rt.Infer(img, inputSparse)
+		if err != nil {
+			fail(err)
+		}
+		return lg
+	}
+	if !reflect.DeepEqual(logitsOf(sonic.SONIC{}), logitsOf(sonic.SONIC{Tape: true})) {
+		fail(fmt.Errorf("tape row-span trains changed sparse-heavy logits — bit-exactness broken"))
+	}
+	rep.Sparse.FleetDevices = realFleetDevices
+	rep.Sparse.FleetTapeDevPerSec = rep.Tape.FleetTapeDevPerSec
+	rep.Sparse.PR9FleetDevPerSec = pr9FleetTapeDevPerSec
+	rep.Sparse.FleetGain = rep.Tape.FleetTapeDevPerSec / pr9FleetTapeDevPerSec
+	rep.Sparse.LayerRows = qs.Out
+	rep.Sparse.LayerCols = qs.In
+	rep.Sparse.LayerNonzeros = int(qs.RowPtr[qs.Out])
+	rep.Sparse.LayerInterpNsPerOp = minLayerInterp.Nanoseconds() / sparseReps
+	rep.Sparse.LayerTapeNsPerOp = minLayerTape.Nanoseconds() / sparseReps
+	rep.Sparse.LayerSpeedup = float64(minLayerInterp) / float64(minLayerTape)
+	rep.Sparse.Identical = true
+	rep.Sparse.Iterations = *count
+
 	// The tape path exists to be faster; a regression on either headline
 	// metric fails the bench outright.
 	if rep.Tape.Fig9Speedup <= 1.0 {
@@ -800,6 +792,18 @@ func main() {
 	}
 	if rep.Provision.PagesSkipped == 0 {
 		fail(fmt.Errorf("pooled restores skipped no pages: dirty-region tracking inert"))
+	}
+	// The sparse PR's headline: the tape fleet sweep must clear 1.3x the
+	// throughput BENCH_PR9 recorded, on byte-identical summaries, and the
+	// compiled row-span trains must beat the interpreted row walk on the
+	// sparse-heavy layer.
+	if rep.Sparse.FleetGain < 1.3 {
+		fail(fmt.Errorf("tape fleet sweep at %.0f devices/sec is %.2fx of PR9's %.0f, want >= 1.3x",
+			rep.Sparse.FleetTapeDevPerSec, rep.Sparse.FleetGain, pr9FleetTapeDevPerSec))
+	}
+	if rep.Sparse.LayerSpeedup <= 1.0 {
+		fail(fmt.Errorf("sparse-layer tape pass is not faster than interpreted (%.2fx)",
+			rep.Sparse.LayerSpeedup))
 	}
 
 	// Scaling is only meaningful with real parallel hardware: on >=4 CPUs,
@@ -856,6 +860,85 @@ func main() {
 		rep.Provision.Identical)
 	fmt.Printf("fleet: deterministic across worker counts: %v  -> %s\n",
 		rep.Fleet.Deterministic, *out)
+}
+
+// pairedFleetMin is the shared paired alternating min-of-K harness for
+// fleet A/Bs: each round times one sweep per spec, in order, so every
+// spec sees the same machine conditions within a round, and the minimum
+// over rounds discards scheduler and thermal noise that an averaged
+// back-to-back comparison folds into the ratio. Every sweep's aggregate
+// summary must be byte-identical to *baseline (seeded from the first
+// sweep when nil) — a speedup can never come from changed results.
+// Returns each spec's minimum duration and the fleet result from its
+// fastest round.
+func pairedFleetMin(count, workers int, models map[string]fleet.Model, baseline *[]byte, specs ...fleet.Spec) ([]time.Duration, []*fleet.Result) {
+	mins := make([]time.Duration, len(specs))
+	best := make([]*fleet.Result, len(specs))
+	for i := 0; i < count; i++ {
+		for j := range specs {
+			t0 := time.Now()
+			res, err := fleet.Run(context.Background(), specs[j], models, workers)
+			if err != nil {
+				fail(err)
+			}
+			d := time.Since(t0)
+			sum, err := json.Marshal(res.Agg.Summary())
+			if err != nil {
+				fail(err)
+			}
+			if *baseline == nil {
+				*baseline = sum
+			} else if string(sum) != string(*baseline) {
+				fail(fmt.Errorf("fleet summary diverged from the baseline — bit-exactness broken"))
+			}
+			if i == 0 || d < mins[j] {
+				mins[j] = d
+				best[j] = res
+			}
+		}
+	}
+	return mins, best
+}
+
+// sparseHeavyModel builds the sparse-layer A/B's synthetic workload: a
+// 512-wide SparseDense layer at ~8% average density with naturally varied
+// row lengths — empty rows through double-average rows, as GENESIS-pruned
+// layers produce — followed by a small dense head, so the charged work is
+// dominated by the CSR row walk under test. Kept weights get solid
+// magnitudes so quantization retains the crafted structure.
+func sparseHeavyModel(seed uint64) (*dnn.QuantModel, []float64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	const in, out = 512, 512
+	avg := in * 8 / 100
+	d := dnn.NewDense(rng, out, in)
+	wd := d.W.Data()
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			wd[o*in+i] = (rng.Float64() - 0.5) * 0.01
+		}
+		for _, c := range rng.Perm(in)[:rng.IntN(2*avg+1)] {
+			v := 0.3 + rng.Float64()*0.6
+			if rng.IntN(2) == 0 {
+				v = -v
+			}
+			wd[o*in+c] = v
+		}
+	}
+	n := dnn.NewNetwork("sparse-heavy", dnn.Shape{1, 1, in})
+	n.Add(d, dnn.NewReLU(), dnn.NewDense(rng, 4, out))
+	n.Layers[0] = dnn.NewSparseDense(d, 0.1)
+	x := make([]float64, in)
+	for i := range x {
+		x[i] = rng.Float64()*1.6 - 0.8
+	}
+	qm, err := dnn.Quantize(n, [][]float64{x})
+	if err != nil {
+		fail(fmt.Errorf("sparse-heavy model does not quantize: %w", err))
+	}
+	if qm.Layers[0].Kind != dnn.QSparseDense {
+		fail(fmt.Errorf("sparse-heavy layer did not stay sparse"))
+	}
+	return qm, x
 }
 
 func fail(err error) {

@@ -183,7 +183,7 @@ func (b *tileBuilder) build() (bool, error) {
 			b.densePasses(addPass, l, layer, src, dst)
 			parity = !parity
 		case dnn.QSparseDense:
-			b.sparsePasses(addPass, l, layer, src, dst)
+			b.sparsePasses(addPass, l, li, layer, src, dst)
 			parity = !parity
 		case dnn.QReLU:
 			n := q.InShape.Len()
@@ -395,7 +395,20 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 				}
 				first := wFirst[e]
 				pos0 := int(wAcc[e]) + i0
-				if n < minBulk || !c.Fresh(acc, pos0, n) {
+				// For accumulating chunks the privatization probe and the
+				// accumulator-generation read are one ReadRange call, so the
+				// write-set epoch table is scanned once as the gate instead
+				// of a Fresh scan followed by a second ReadRange scan. The
+				// chunk's charge order is a bulk regrouping either way, and
+				// interp and tape both execute this same body, so brown-outs
+				// land identically on both executors.
+				bulk := n >= minBulk
+				if bulk && first {
+					bulk = c.Fresh(acc, pos0, n)
+				} else if bulk {
+					bulk = c.ReadRange(acc, pos0, n)
+				}
+				if !bulk {
 					for j := 0; j < n; j++ {
 						accIter(c, lo+j)
 					}
@@ -412,7 +425,6 @@ func (b *tileBuilder) convPasses(addPass addPassFn,
 				dev.LoadRange(src, srcStart, n)
 				dev.Ops(mcu.OpFixedMul, n)
 				if !first {
-					c.ReadRange(acc, pos0, n) // fresh, so it cannot decline
 					dev.Ops(mcu.OpFixedAdd, n)
 					kern.MACRow(vals, acc.ROWords(), src.ROWords(), pos0, srcStart, n, int64(wv))
 				} else {
@@ -549,18 +561,30 @@ func (b *tileBuilder) densePasses(addPass addPassFn,
 // its row's partial — the WAR pattern that forces redo-logging here and
 // that SONIC's sparse undo-logging replaces.
 func (b *tileBuilder) sparsePasses(addPass addPassFn,
-	l *core.LayerImage, layer string, src, dst *mem.Region) {
+	l *core.LayerImage, li int, layer string, src, dst *mem.Region) {
 	q := l.Q
 	acc := b.img.AccA
-	addPass("spfc-zero", layer, q.Out, func(c *task.Ctx, o int) {
+	zeroIter := func(c *task.Ctx, o int) {
 		c.Dev().Op(mcu.OpBranch)
 		c.Write(acc, o, 0)
-	}, nil)
+	}
+	zeros := make([]int64, b.k)
+	addPass("spfc-zero", layer, q.Out, zeroIter, func(c *task.Ctx, lo, hi int) {
+		n := hi - lo
+		if n < minBulk || !c.Fresh(acc, lo, n) {
+			for o := lo; o < hi; o++ {
+				zeroIter(c, o)
+			}
+			return
+		}
+		c.Dev().Ops(mcu.OpBranch, n)
+		c.WriteRange(acc, lo, zeros[:n])
+	})
 	// Row lookup per nonzero: the device walks RowPtr lazily by keeping a
 	// "current row" volatile variable... but volatile state cannot span
 	// tasks, so each iteration binary-searches RowPtr. This is what a real
 	// port pays for splitting a CSR walk across tasks.
-	addPass("spfc-acc", layer, len(q.W), func(c *task.Ctx, p int) {
+	accIter := func(c *task.Ctx, p int) {
 		dev := c.Dev()
 		dev.Op(mcu.OpBranch)
 		row := sparseRowOf(dev, l, p, q.Out)
@@ -571,15 +595,107 @@ func (b *tileBuilder) sparsePasses(addPass addPassFn,
 		a := fixed.Acc(c.Read(acc, row))
 		dev.Op(mcu.OpFixedAdd)
 		c.Write(acc, row, int64(a.MAC(wv, x)))
-	}, nil)
-	addPass("spfc-fin", layer, q.Out, func(c *task.Ctx, o int) {
+	}
+	// The bulk body walks whole row segments — the owning row and its end
+	// come from a host-side RowPtr search, free of simulated charge like
+	// every other rangeFn's chunk math: one AccumulateRow per segment
+	// replaces that row's read-modify-write chain through the redo log,
+	// and the probe loop is charged from its host-counted step count. The
+	// op multiset per iteration is identical to the scalar body's, and
+	// both executors run this same body, so a brown-out mid-chunk wastes
+	// the same charged prefix in each.
+	rowPtr := q.RowPtr
+	rowPtrKind := loadKind(l.RowPtr)
+	wKind, colsKind, srcKind := loadKind(l.W), loadKind(l.Cols), loadKind(src)
+	accRange := func(c *task.Ctx, lo, hi int) {
+		dev := c.Dev()
+		wW, colsW, srcW := l.W.ROWords(), l.Cols.ROWords(), src.ROWords()
+		for lo < hi {
+			row := hostRowOf(rowPtr, lo)
+			n := hi - lo
+			if m := int(rowPtr[row+1]) - lo; m < n {
+				n = m // this row's nonzeros within the tile
+			}
+			if n < minBulk || !c.Fresh(acc, row, 1) {
+				for j := 0; j < n; j++ {
+					accIter(c, lo+j)
+				}
+				lo += n
+				continue
+			}
+			s := searchSteps(q.Out, row)
+			dev.Ops(mcu.OpBranch, n*(1+s))
+			dev.Ops(rowPtrKind, n*s)
+			dev.Ops(wKind, n)
+			dev.Ops(colsKind, n)
+			dev.Ops(srcKind, n)
+			dev.Ops(mcu.OpFixedMul, n)
+			dev.Ops(mcu.OpFixedAdd, n)
+			a := acc.Get(row) + kern.CSRRowSum(wW, colsW, srcW, lo, n)
+			// Cannot fail: the Fresh probe above is AccumulateRow's own
+			// precondition and nothing privatizes the word in between.
+			c.AccumulateRow(acc, row, n, a)
+			lo += n
+		}
+	}
+	addPass("spfc-acc", layer, len(q.W), accIter, accRange)
+	finIter := func(c *task.Ctx, o int) {
 		dev := c.Dev()
 		dev.Op(mcu.OpBranch)
 		bq := fixed.Q15(dev.Load(l.B, o))
 		a := fixed.Acc(c.Read(acc, o))
 		dev.Op(mcu.OpFixedAdd)
 		c.Write(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
-	}, nil)
+	}
+	finVals := make([]int64, b.k)
+	addPass("spfc-fin", layer, q.Out, finIter, func(c *task.Ctx, lo, hi int) {
+		dev := c.Dev()
+		n := hi - lo
+		if n < minBulk || !c.Fresh(acc, lo, n) || !c.Fresh(dst, lo, n) {
+			for o := lo; o < hi; o++ {
+				finIter(c, o)
+			}
+			return
+		}
+		dev.Ops(mcu.OpBranch, n)
+		dev.LoadRange(l.B, lo, n)
+		c.ReadRange(acc, lo, n)
+		dev.Ops(mcu.OpFixedAdd, n)
+		kern.FinalizeVec(finVals, acc.ROWords(), l.B.ROWords(), 0, lo, n, q.Shift)
+		c.WriteRange(dst, lo, finVals[:n])
+	})
+}
+
+// hostRowOf returns the row owning nonzero p — sparseRowOf's answer,
+// derived host-side from the quantized RowPtr without simulated loads.
+func hostRowOf(rowPtr []int32, p int) int {
+	lo, hi := 0, len(rowPtr)-1
+	for lo+1 < hi {
+		if mid := (lo + hi) / 2; int(rowPtr[mid]) <= p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchSteps returns the number of probe iterations sparseRowOf performs
+// for any nonzero in the given row: each probe compares a row boundary
+// RowPtr[mid] against a key strictly inside the row, so the comparison —
+// and with it the whole probe path — is the same for every key the row
+// owns, and can be counted host-side without loading RowPtr.
+func searchSteps(rows, row int) int {
+	lo, hi, s := 0, rows, 0
+	for lo+1 < hi {
+		s++
+		if mid := (lo + hi) / 2; mid <= row {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return s
 }
 
 // sparseRowOf binary-searches RowPtr for the row containing nonzero p.

@@ -237,7 +237,13 @@ func (p *Intermittent) ConsumePJ(pj int64) bool {
 // floor(remaining/cost), and a partial batch also charges the failing op,
 // exactly as the scalar loop does.
 func (p *Intermittent) ConsumeN(e float64, n int) int {
-	dec := pjOf(e)
+	return p.ConsumeNPJ(pjOf(e), n)
+}
+
+// ConsumeNPJ is ConsumeN for an already-quantized per-op cost — the same
+// arithmetic minus the per-call float→pJ conversion, for callers that
+// cache pjOf(e) (the device model's costPJ table).
+func (p *Intermittent) ConsumeNPJ(dec int64, n int) int {
 	if dec <= 0 {
 		if p.remainingPJ >= 0 {
 			return n

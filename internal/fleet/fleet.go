@@ -28,6 +28,9 @@ type DeviceStats struct {
 	Reboots       int
 	EnergyPJ      int64
 	WastedNJ      float64
+	// Ops is the total number of charged ops the device executed across
+	// all kinds — the work denominator for fleet throughput readouts.
+	Ops int64
 }
 
 // simulate runs one device instance to its first inference and extracts
@@ -63,6 +66,9 @@ func runDevice(dev *mcu.Device, img *core.Image, ds DeviceSpec, m Model, rt core
 		EnergyPJ: st.EnergyPJ,
 		WastedNJ: dev.WastedNJ(),
 	}
+	for _, n := range st.OpCount {
+		out.Ops += n
+	}
 	if ierr != nil {
 		if errors.Is(ierr, mcu.ErrDoesNotComplete) {
 			return out, nil // a DNC device is a data point, not a failure
@@ -89,6 +95,10 @@ type Aggregates struct {
 	Reboots   int64
 	EnergyPJ  int64   // total consumed, integer picojoules (order-free sum)
 	WastedNJ  float64 // total re-executed energy across the fleet
+	// Ops is the fleet-wide charged-op total. It feeds the serving API's
+	// throughput counters and is deliberately NOT part of Summary, whose
+	// byte-identical form across executors is load-bearing for A/B checks.
+	Ops int64
 
 	IMpJ       *Sketch // inferences per millijoule, completed devices
 	FirstSec   *Sketch // latency to first inference, completed devices
@@ -115,6 +125,7 @@ func (a *Aggregates) observe(st DeviceStats) {
 	a.Reboots += int64(st.Reboots)
 	a.EnergyPJ += st.EnergyPJ
 	a.WastedNJ += st.WastedNJ
+	a.Ops += st.Ops
 	a.RebootHist.Add(float64(st.Reboots))
 	a.WastedHist.Add(st.WastedNJ)
 	if st.Completed {
@@ -135,6 +146,7 @@ func (a *Aggregates) merge(o *Aggregates) error {
 	a.Reboots += o.Reboots
 	a.EnergyPJ += o.EnergyPJ
 	a.WastedNJ += o.WastedNJ
+	a.Ops += o.Ops
 	a.IMpJ.Merge(o.IMpJ)
 	a.FirstSec.Merge(o.FirstSec)
 	if err := a.RebootHist.Merge(o.RebootHist); err != nil {

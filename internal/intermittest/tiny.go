@@ -1,6 +1,7 @@
 package intermittest
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/dnn"
@@ -41,6 +42,68 @@ func TinyModel(seed uint64) (*dnn.QuantModel, []float64) {
 		// The tiny architecture is fixed; quantization over a nonempty
 		// calibration sample cannot fail for it.
 		panic("intermittest: tiny model does not quantize: " + err.Error())
+	}
+	return qm, x
+}
+
+// AdversarialCSRModel builds a tiny network whose sparse layer has every
+// CSR row shape that stresses the sparse walk's control flow: a leading
+// empty row (the very first iteration starts with a row advance), runs of
+// consecutive empty rows (multi-row advances in one iteration),
+// single-nonzero rows (boundary iterations only, no in-row run), a row
+// long enough to span multiple checkpoint periods and charge quanta, and a
+// trailing empty row (RowPtr's tail is walked but never executed). A
+// fault-injection sweep over it hits a brown-out at every row boundary and
+// every undo-log arm point (the rd > pos resume iteration) of each shape.
+//
+// The seed determines the weight values and the input sample; the CSR
+// structure is fixed.
+func AdversarialCSRModel(seed uint64) (*dnn.QuantModel, []float64) {
+	rng := rand.New(rand.NewPCG(seed, mix(seed)))
+	const in, out = 24, 10
+	// Nonzeros kept per output row, by row index.
+	shape := [out]int{0, 1, 0, 0, 20, 3, 1, 0, 5, 0}
+
+	d := dnn.NewDense(rng, out, in)
+	wd := d.W.Data()
+	for o := 0; o < out; o++ {
+		// Below-threshold weights prune; kept entries get a solid
+		// magnitude so quantization retains them all.
+		cols := rng.Perm(in)[:shape[o]]
+		for i := 0; i < in; i++ {
+			wd[o*in+i] = (rng.Float64() - 0.5) * 0.01
+		}
+		for _, c := range cols {
+			v := 0.3 + rng.Float64()*0.6
+			if rng.IntN(2) == 0 {
+				v = -v
+			}
+			wd[o*in+c] = v
+		}
+	}
+
+	n := dnn.NewNetwork("csr-adv", dnn.Shape{1, 1, in})
+	n.Add(d, dnn.NewReLU(), dnn.NewDense(rng, 4, out))
+	n.Layers[0] = dnn.NewSparseDense(d, 0.1)
+
+	x := make([]float64, in)
+	for i := range x {
+		x[i] = rng.Float64()*1.6 - 0.8
+	}
+	qm, err := dnn.Quantize(n, [][]float64{x})
+	if err != nil {
+		panic("intermittest: adversarial CSR model does not quantize: " + err.Error())
+	}
+	// The sweep's value rests on the crafted structure surviving pruning
+	// and quantization; check it rather than assume it.
+	q := &qm.Layers[0]
+	if q.Kind != dnn.QSparseDense {
+		panic("intermittest: adversarial CSR layer did not stay sparse")
+	}
+	for o := 0; o < out; o++ {
+		if got := int(q.RowPtr[o+1] - q.RowPtr[o]); got != shape[o] {
+			panic(fmt.Sprintf("intermittest: adversarial CSR row %d has %d nonzeros, want %d", o, got, shape[o]))
+		}
 	}
 	return qm, x
 }

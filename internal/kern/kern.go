@@ -99,6 +99,59 @@ func CSRRow(w, cols, src []int64, p0, m int, acc int64) (final, canonical int64)
 	return acc, canonical
 }
 
+// CSRSpans applies m funded nonzeros starting at position pos to their
+// rows' in-place accumulators — the multi-row extension of CSRRow. Spans
+// (the compiled (start, len, row) table of rows owning nonzeros) are
+// consumed in order from index si; each touched row's final accumulator is
+// written back to acc, exactly the per-row canonical-slot commit the
+// scalar walk coalesces to. Returns the end position, the end span index,
+// the last row touched (the resume cursor's row coordinate), and the
+// canonical value — the accumulator before the last update, the durable
+// content of the sparse undo-log's canonical slot after the run. Empty
+// rows own no span and are never touched; a resume mid-row (pos inside
+// span si) simply consumes the span's remainder. m must be >= 1 and the
+// caller guarantees pos lies inside span si.
+func CSRSpans(w, cols, src, acc []int64, spStart, spLen, spRow []int32, si, pos, m int) (endPos, endSi, lastRow int, canonical int64) {
+	for m > 0 {
+		row := int(spRow[si])
+		end := int(spStart[si]) + int(spLen[si])
+		n := end - pos
+		if n > m {
+			n = m
+		}
+		// CSRRow's loop, inlined and split: only the value before the
+		// span's last update can become the canonical return, so the
+		// per-iteration canonical copy is hoisted out of the MAC loop.
+		a := acc[row]
+		last := pos + n - 1
+		for p := pos; p < last; p++ {
+			a += w[p] * src[cols[p]]
+		}
+		canonical = a
+		a += w[last] * src[cols[last]]
+		acc[row] = a
+		lastRow = row
+		pos += n
+		m -= n
+		if pos == end {
+			si++
+		}
+	}
+	return pos, si, lastRow, canonical
+}
+
+// CSRRowSum returns the sum of the m products w[p]*src[cols[p]] for p in
+// [p0, p0+m) — one CSR row segment's contribution without touching the
+// accumulator, for executors that buffer the row partial elsewhere (the
+// task runtime's redo log) instead of writing it home.
+func CSRRowSum(w, cols, src []int64, p0, m int) int64 {
+	var a int64
+	for p := p0; p < p0+m; p++ {
+		a += w[p] * src[cols[p]]
+	}
+	return a
+}
+
 // ReLU rectifies src[srcOff:srcOff+m] into dst[dstOff:dstOff+m].
 func ReLU(dst, src []int64, dstOff, srcOff, m int) {
 	for j := 0; j < m; j++ {

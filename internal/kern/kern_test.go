@@ -67,6 +67,144 @@ func TestCSRRowMatchesScalar(t *testing.T) {
 	}
 }
 
+// csrFixture builds a CSR matrix with adversarial row shapes — empty
+// rows, single-nonzero rows, and long rows — plus its compiled span
+// tables, mirroring tape.compileSparse.
+func csrFixture(r *pcg, rows, colsN int) (w, ci []int64, rowPtr []int, spStart, spLen, spRow, spanOf []int32) {
+	rowPtr = make([]int, rows+1)
+	for row := 0; row < rows; row++ {
+		var n int
+		switch row % 4 {
+		case 0:
+			n = 0 // empty: advanced over, never executed
+		case 1:
+			n = 1 // single nonzero: boundary iteration only
+		default:
+			n = 3 + int(r.next()%11)
+		}
+		rowPtr[row+1] = rowPtr[row] + n
+	}
+	nnz := rowPtr[rows]
+	w = q15Vec(r, nnz)
+	ci = make([]int64, nnz)
+	for i := range ci {
+		ci[i] = int64(r.next() % uint64(colsN))
+	}
+	spanOf = make([]int32, nnz)
+	for row := 0; row < rows; row++ {
+		s, e := rowPtr[row], rowPtr[row+1]
+		if e <= s {
+			continue
+		}
+		si := int32(len(spStart))
+		spStart = append(spStart, int32(s))
+		spLen = append(spLen, int32(e-s))
+		spRow = append(spRow, int32(row))
+		for p := s; p < e; p++ {
+			spanOf[p] = si
+		}
+	}
+	return
+}
+
+// TestCSRSpansMatchesPerRow pins the multi-row walk to the per-row CSRRow
+// loop it fuses: for every (resume position, funded count) pair over an
+// adversarial matrix, the accumulators, end cursor, last row, and
+// canonical value must match running CSRRow span by span.
+func TestCSRSpansMatchesPerRow(t *testing.T) {
+	r := &pcg{state: 0x5ba12e}
+	const rows, colsN = 23, 16
+	w, ci, rowPtr, spStart, spLen, spRow, spanOf := csrFixture(r, rows, colsN)
+	src := q15Vec(r, colsN)
+	nnz := rowPtr[rows]
+
+	for pos := 0; pos < nnz; pos++ {
+		for m := 1; pos+m <= nnz; m++ {
+			// Reference: per-row CSRRow over the same funded window, with
+			// mid-span resume state (the accumulator already holds the
+			// prefix of the resumed row).
+			want := make([]int64, rows)
+			touched := make([]bool, rows)
+			wantCanon, wantRow := int64(0), -1
+			p, left := pos, m
+			for si := int(spanOf[pos]); left > 0; si++ {
+				row := int(spRow[si])
+				end := int(spStart[si]) + int(spLen[si])
+				// Seed the resumed row's prefix exactly as the device
+				// accumulator would hold it.
+				pre, _ := CSRRow(w, ci, src, int(spStart[si]), p-int(spStart[si]), 0)
+				n := end - p
+				if n > left {
+					n = left
+				}
+				final, canon := CSRRow(w, ci, src, p, n, pre)
+				want[row] = final
+				touched[row] = true
+				wantCanon, wantRow = canon, row
+				p += n
+				left -= n
+			}
+
+			acc := make([]int64, rows)
+			for row := 0; row < rows; row++ {
+				if s, e := rowPtr[row], rowPtr[row+1]; e > s {
+					prefix := pos - s
+					if prefix > e-s {
+						prefix = e - s
+					}
+					if prefix > 0 {
+						acc[row], _ = CSRRow(w, ci, src, s, prefix, 0)
+					}
+				}
+			}
+			endPos, endSi, lastRow, canon := CSRSpans(w, ci, src, acc, spStart, spLen, spRow, int(spanOf[pos]), pos, m)
+			if endPos != p {
+				t.Fatalf("pos=%d m=%d: endPos=%d want %d", pos, m, endPos, p)
+			}
+			if lastRow != wantRow || canon != wantCanon {
+				t.Fatalf("pos=%d m=%d: (lastRow, canon)=(%d, %d) want (%d, %d)", pos, m, lastRow, canon, wantRow, wantCanon)
+			}
+			if endPos < nnz {
+				if want := int(spanOf[endPos]); endSi != want {
+					t.Fatalf("pos=%d m=%d: endSi=%d want %d", pos, m, endSi, want)
+				}
+			} else if endSi != len(spStart) {
+				t.Fatalf("pos=%d m=%d: endSi=%d want %d (past end)", pos, m, endSi, len(spStart))
+			}
+			for row := range want {
+				if touched[row] && acc[row] != want[row] {
+					t.Fatalf("pos=%d m=%d row=%d: acc=%d want %d", pos, m, row, acc[row], want[row])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkCSRSpansLayer is the tier-0 perf signal for the multi-row
+// sparse walk: one whole-layer CSRSpans call against the per-row CSRRow
+// loop it fuses, on the same 256×256 ~5% matrix as BenchmarkCSRMatvec.
+func BenchmarkCSRSpansLayer(b *testing.B) {
+	r := &pcg{state: 3}
+	const rows, colsN = 256, 256
+	w, ci, rowPtr, spStart, spLen, spRow, _ := csrFixture(r, rows, colsN)
+	src := q15Vec(r, colsN)
+	nnz := rowPtr[rows]
+	acc := make([]int64, rows)
+	b.Run("multirow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CSRSpans(w, ci, src, acc, spStart, spLen, spRow, 0, 0, nnz)
+		}
+	})
+	b.Run("perrow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for si := range spStart {
+				final, _ := CSRRow(w, ci, src, int(spStart[si]), int(spLen[si]), 0)
+				acc[spRow[si]] = final
+			}
+		}
+	})
+}
+
 // BenchmarkDotQ15 is the tier-0 perf signal for the dense inner product:
 // the fused raw-word loop against the scalar fixed.Acc.MAC loop it
 // replaces, at the LEA-tile vector length.

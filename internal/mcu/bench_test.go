@@ -6,16 +6,36 @@ import (
 	"repro/internal/energy"
 )
 
-// BenchmarkDeviceOp measures the untraced operation hot path — the cost
-// every simulated instruction pays. The tracing subsystem must keep this
-// within ~2% of the pre-trace baseline (its disabled path is a single
-// nil-check branch).
+// BenchmarkDeviceOp measures the operation hot path — the cost every
+// simulated instruction pays. The unobserved sub-benchmark is the
+// flattened fast path (one slow-path bit check, a charge, and two
+// increments); the observer variants take the out-of-line slow path, so
+// the spread between them is the price observers pay and the fast path
+// does not.
 func BenchmarkDeviceOp(b *testing.B) {
-	dev := New(energy.Continuous{})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		dev.Op(OpFixedMul)
-	}
+	b.Run("unobserved", func(b *testing.B) {
+		dev := New(energy.Continuous{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dev.Op(OpFixedMul)
+		}
+	})
+	b.Run("wasted-track", func(b *testing.B) {
+		dev := New(energy.Continuous{})
+		dev.TrackWasted(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dev.Op(OpFixedMul)
+		}
+	})
+	b.Run("journal", func(b *testing.B) {
+		dev := New(energy.Continuous{})
+		dev.StartJournal(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dev.Op(OpFixedMul)
+		}
+	})
 }
 
 // BenchmarkDeviceLoadStore measures the untraced memory-access path.

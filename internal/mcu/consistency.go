@@ -36,6 +36,10 @@ func (d *Device) EnableWARCheck() {
 	for _, r := range d.protocol {
 		d.shadow.Exempt(r)
 	}
+	// Violation records carry op positions; resync the incremental mirror
+	// (ops so far ran on the fast path, which does not maintain it).
+	d.opsTotal = d.opsNow()
+	d.refreshSlowOp()
 }
 
 // WARCheckEnabled reports whether the shadow tracker is active.
@@ -70,6 +74,17 @@ func (d *Device) MarkProtocol(regions ...*mem.Region) {
 func (d *Device) MarkLogged(r *mem.Region, i int) {
 	if d.shadow != nil {
 		d.shadow.NoteLogged(r, i)
+	}
+}
+
+// MarkLoggedRange is MarkLogged over words r[i:i+n] — one call for a
+// redo-log replay run instead of one per word.
+func (d *Device) MarkLoggedRange(r *mem.Region, i, n int) {
+	if d.shadow == nil {
+		return
+	}
+	for j := 0; j < n; j++ {
+		d.shadow.NoteLogged(r, i+j)
 	}
 }
 

@@ -178,7 +178,10 @@ type Device struct {
 	// accumulates, per browned-out charge cycle, the energy spent after
 	// that cycle's last commit — the same arithmetic, on the same float64
 	// values, as trace.Buffer's online analysis, so a fleet run reads the
-	// figure off the device without paying for a tracer.
+	// figure off the device without paying for a tracer. The scalar fast
+	// path maintains pjNow unconditionally (one integer add), so tracking
+	// does not set slowOp; with tracking off the running value is
+	// meaningless and TrackWasted resyncs it from deriveNow on enable.
 	wastedTrack bool
 	pjNow       int64
 	commitNJ    float64
@@ -207,10 +210,17 @@ type Device struct {
 	inAttempt            bool
 	opsInRegion          int64
 
-	// opsTotal counts every charged operation since construction (or the
-	// last ResetStats) — always equal to the sum of stats.OpCount. It is
-	// the op-position coordinate the snapshot/fork machinery (journal.go)
-	// indexes everything by.
+	// slowOp gates Op's out-of-line body: true while any per-op observer
+	// or incremental mirror is attached (journal, WAR shadow, wasted-work
+	// tracking, op-batch tracing). Recomputed by refreshSlowOp at every
+	// attach/detach point, so the hot path tests one bool instead of four.
+	slowOp bool
+
+	// opsTotal is the op-position coordinate the snapshot/fork machinery
+	// (journal.go) and the WAR shadow index everything by — the count of
+	// charged operations, equal to the sum of the per-section op counts
+	// (opsNow). It is maintained incrementally only on the slow op path;
+	// observers that need it resync it from opsNow when they attach.
 	opsTotal int64
 	journal  *Journal
 }
@@ -276,42 +286,72 @@ func (d *Device) Stats() *Stats {
 	return &d.stats
 }
 
-// finalizeStats recomputes the derived Stats fields from the op counts:
-// LiveCycles and the energy accumulators are Σ count[k]·cost[k] with
-// integer per-kind costs, so deriving them on demand is bit-identical to
-// accumulating them per operation — the hot path only counts ops.
+// finalizeStats recomputes the derived Stats fields from the per-section
+// op counts — the only accounting the hot paths maintain. The global
+// per-kind OpCount is their sum (every charged op is attributed to exactly
+// one section), and LiveCycles and the energy accumulators are
+// Σ count[k]·cost[k] with integer per-kind costs, so deriving everything
+// on demand is bit-identical to accumulating it per operation.
 func (d *Device) finalizeStats() {
-	var cyc, pj int64
-	for k, n := range d.stats.OpCount {
-		epj := n * d.costPJ[k]
-		d.stats.OpEnergyPJ[k] = epj
-		cyc += n * int64(d.Cost.Costs[k].Cycles)
-		pj += epj
-	}
-	d.stats.LiveCycles = cyc
-	d.stats.EnergyPJ = pj
+	var totCyc, totPJ int64
+	var tot [NumOps]int64
 	for _, ss := range d.stats.Sections {
-		cyc, pj = 0, 0
+		var cyc, pj int64
 		for k, n := range ss.OpCount {
 			epj := n * d.costPJ[k]
 			ss.OpEnergyPJ[k] = epj
 			cyc += n * int64(d.Cost.Costs[k].Cycles)
 			pj += epj
+			tot[k] += n
 		}
 		ss.Cycles = cyc
 		ss.EnergyPJ = pj
+		totCyc += cyc
+		totPJ += pj
 	}
+	d.stats.OpCount = tot
+	for k, n := range tot {
+		d.stats.OpEnergyPJ[k] = n * d.costPJ[k]
+	}
+	d.stats.LiveCycles = totCyc
+	d.stats.EnergyPJ = totPJ
 }
 
 // deriveNow returns the derived live-cycle count and total consumed energy
 // in picojoules without a full finalization — the tracer samples both per
-// event.
+// event. Summed over sections (integer addition, so order-independent).
 func (d *Device) deriveNow() (cyc, pj int64) {
-	for k, n := range d.stats.OpCount {
-		cyc += n * int64(d.Cost.Costs[k].Cycles)
-		pj += n * d.costPJ[k]
+	for _, ss := range d.stats.Sections {
+		for k, n := range ss.OpCount {
+			cyc += n * int64(d.Cost.Costs[k].Cycles)
+			pj += n * d.costPJ[k]
+		}
 	}
 	return cyc, pj
+}
+
+// opsNow derives the total charged-operation count from the per-section
+// accounting — the value opsTotal mirrors while a per-op observer is
+// attached. Observers resync the mirror from it when they attach.
+func (d *Device) opsNow() int64 {
+	var n int64
+	for _, ss := range d.stats.Sections {
+		for _, c := range ss.OpCount {
+			n += c
+		}
+	}
+	return n
+}
+
+// refreshSlowOp recomputes the slow-path bit from the attached observers
+// and mirrors. Every attach/detach point (StartJournal, StopJournal,
+// SetTracer, TrackWasted, EnableWARCheck, ResetStats) calls it.
+// Wasted-work tracking does not force the slow path: its consumed-energy
+// mirror (pjNow) is one integer add the fast path maintains directly, so
+// a fleet device — which always tracks wasted work — still runs the
+// two-increment hot loop.
+func (d *Device) refreshSlowOp() {
+	d.slowOp = d.journal != nil || d.shadow != nil || d.batchTrace
 }
 
 // ResetStats clears accounting without touching memory or power. Any
@@ -329,6 +369,7 @@ func (d *Device) ResetStats() {
 	d.secStats = nil // force SetSection to re-resolve into the fresh map
 	d.memoLayer, d.memoStats = "", [numMemoPhases]*SectionStats{}
 	d.statsGen++
+	d.refreshSlowOp()
 	d.SetSection("boot", PhaseControl)
 }
 
@@ -338,10 +379,12 @@ func (d *Device) ResetStats() {
 // the same float64 arithmetic as trace.Buffer's online analysis
 // (TotalWastedEnergyNJ), so callers that only need the aggregate — the
 // fleet engine — can skip attaching a tracer entirely, which keeps the
-// fused-kernel fast path engaged. Enable it before the run charges its
-// first operation.
+// fused-kernel fast path engaged; scalar ops also stay on the two-
+// increment fast path, which carries the consumed-energy mirror itself.
+// Enable it before the run charges its first operation.
 func (d *Device) TrackWasted(on bool) {
 	d.wastedTrack = on
+	d.refreshSlowOp()
 	d.pjNow, d.commitNJ, d.wastedNJ = 0, 0, 0
 	if on {
 		_, pj := d.deriveNow()
@@ -515,11 +558,15 @@ func (d *Device) resolveSection(sec Section) *SectionStats {
 
 // Op charges one operation of kind k. If the energy buffer empties, the
 // operation does not take effect and the device browns out (panics with the
-// power-failure sentinel, recovered by Attempt). The accounting is the n=1
-// body of account, open-coded so the hot path is a single call frame.
+// power-failure sentinel, recovered by Attempt). The common path is charge
+// plus two increments: everything an attached observer would need — the
+// journal tape, the opsTotal mirror, wasted-work and op-batch bookkeeping —
+// lives in the out-of-line opSlow body behind the one recomputed-on-attach
+// slowOp bit.
 func (d *Device) Op(k OpKind) {
-	if j := d.journal; j != nil {
-		j.onOp(k)
+	if d.slowOp {
+		d.opSlow(k)
+		return
 	}
 	// The devirtualized intermittent charge is open-coded (an inlined
 	// integer subtract); everything else goes through consume1.
@@ -530,13 +577,29 @@ func (d *Device) Op(k OpKind) {
 	} else if !d.consume1(k) {
 		d.brownOut(k)
 	}
-	d.opsTotal++
-	d.stats.OpCount[k]++
 	d.secStats.OpCount[k]++
 	d.opsInRegion++
-	if d.wastedTrack {
-		d.pjNow += d.costPJ[k]
+	d.pjNow += d.costPJ[k]
+}
+
+// opSlow is Op's full body for devices with a per-op observer or mirror
+// attached. It additionally maintains opsTotal, the op-position coordinate
+// the journal and WAR shadow index by.
+func (d *Device) opSlow(k OpKind) {
+	if j := d.journal; j != nil {
+		j.onOp(k)
 	}
+	if p := d.intPower; p != nil && !d.ForceScalar {
+		if !p.ConsumePJ(d.costPJ[k]) {
+			d.brownOut(k)
+		}
+	} else if !d.consume1(k) {
+		d.brownOut(k)
+	}
+	d.opsTotal++
+	d.secStats.OpCount[k]++
+	d.opsInRegion++
+	d.pjNow += d.costPJ[k]
 	if d.batchTrace {
 		d.batchOps++
 		if d.batchOps >= opBatchMax {
@@ -574,17 +637,26 @@ func (d *Device) consume1(k OpKind) bool {
 // — the invariant the bulk-charge fast path and the differential oracle
 // rely on.
 func (d *Device) account(k OpKind, n int) {
+	if d.slowOp {
+		d.accountSlow(k, n)
+		return
+	}
+	d.secStats.OpCount[k] += int64(n)
+	d.opsInRegion += int64(n)
+	d.pjNow += int64(n) * d.costPJ[k]
+}
+
+// accountSlow is account's full body behind the slowOp bit, mirroring
+// opSlow's bookkeeping for a funded bulk batch.
+func (d *Device) accountSlow(k OpKind, n int) {
 	if j := d.journal; j != nil {
 		j.onOps(k, n)
 	}
 	nn := int64(n)
 	d.opsTotal += nn
-	d.stats.OpCount[k] += nn
 	d.secStats.OpCount[k] += nn
 	d.opsInRegion += nn
-	if d.wastedTrack {
-		d.pjNow += nn * d.costPJ[k]
-	}
+	d.pjNow += nn * d.costPJ[k]
 	if d.batchTrace {
 		d.batchOps += n
 		if d.batchOps >= opBatchMax {
@@ -615,6 +687,23 @@ func (d *Device) brownOut(k OpKind) {
 // to the scalar loop. Callers apply the funded prefix's effects and brown
 // out when the return value is short.
 func (d *Device) chargeOps(k OpKind, n int) int {
+	if !d.ForceScalar {
+		// Devirtualized fast paths mirroring Op's: the intermittent system
+		// charges through the cached integer-pJ cost (ConsumeNPJ uses the
+		// same pjOf quantization as the costPJ table, so the arithmetic is
+		// bit-identical to ConsumeN), and continuous power funds everything.
+		if p := d.intPower; p != nil {
+			funded := p.ConsumeNPJ(d.costPJ[k], n)
+			if funded > 0 {
+				d.account(k, funded)
+			}
+			return funded
+		}
+		if d.contPower {
+			d.account(k, n)
+			return n
+		}
+	}
 	e := d.Cost.Costs[k].EnergyNJ
 	if b := d.bulkPower; b != nil && !d.ForceScalar {
 		funded := b.ConsumeN(e, n)

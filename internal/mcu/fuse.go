@@ -71,22 +71,9 @@ func (d *Device) ChargeBlock(b *Block, n int) int {
 			return 0
 		}
 	}
-	mm := int64(m)
-	for i := range b.ops {
-		op := &b.ops[i]
-		e := &d.toks[op.Tok]
-		if e.stats == nil || e.gen != d.statsGen {
-			e.stats = d.resolveSection(e.sec)
-			e.gen = d.statsGen
-		}
-		nn := int64(op.N) * mm
-		d.stats.OpCount[op.Kind] += nn
-		e.stats.OpCount[op.Kind] += nn
-		d.opsTotal += nn
-	}
 	// The scalar loop's last section switch per iteration is the final
 	// op's token; leave the device attributed there.
-	last := &d.toks[b.ops[len(b.ops)-1].Tok]
+	last := d.accountBlockOps(b, int64(m))
 	d.section = last.sec
 	d.secStats = last.stats
 	// Commit bookkeeping: the first fused iteration closes the open
@@ -98,8 +85,99 @@ func (d *Device) ChargeBlock(b *Block, n int) int {
 	d.opsInRegion = 0
 	d.rebootsSinceProgress = 0
 	if d.wastedTrack {
-		d.pjNow += b.unitPJ * mm
+		d.pjNow += b.unitPJ * int64(m)
 		d.commitNJ = float64(d.pjNow) * 1e-3
 	}
 	return m
+}
+
+// accountBlockOps attributes mm funded iterations of the block's op
+// profile to their section tokens and returns the last op's resolved
+// token entry (the section the scalar loop would leave active). The
+// global per-kind counts and opsTotal are derived from the section
+// accounting at Stats() time, so this is the only bookkeeping needed.
+func (d *Device) accountBlockOps(b *Block, mm int64) *tokEntry {
+	for i := range b.ops {
+		op := &b.ops[i]
+		e := &d.toks[op.Tok]
+		if e.stats == nil || e.gen != d.statsGen {
+			e.stats = d.resolveSection(e.sec)
+			e.gen = d.statsGen
+		}
+		e.stats.OpCount[op.Kind] += int64(op.N) * mm
+	}
+	return &d.toks[b.ops[len(b.ops)-1].Tok]
+}
+
+// TrainSeg is one homogeneous stretch of a fused block train: N
+// consecutive iterations sharing one per-iteration charge profile.
+type TrainSeg struct {
+	Blk *Block
+	N   int
+}
+
+// ChargeTrain funds a train of heterogeneous whole iterations — the
+// concatenation of each segment's N iterations of its block, in order —
+// and returns how many iterations were funded (a train-order prefix).
+// The buffer drains segment by segment with the same exact integer
+// arithmetic the scalar path performs op by op, and only whole iterations
+// are ever funded — never a partial one — so the first unfunded iteration
+// re-executes on the scalar path and browns out at the identical op index
+// with identical partial energy. Accounting matches ChargeBlock's per
+// segment: the section is left at the last funded op's token, and the
+// commit bookkeeping treats every funded iteration as ending in a
+// Progress, exactly as the scalar walk would. Callers must hold CanFuse()
+// and execute exactly the funded iterations' data movement afterwards.
+func (d *Device) ChargeTrain(segs []TrainSeg) int {
+	total := 0
+	var pjTotal, firstUnit, maxUnit int64
+	var last *tokEntry
+	for si := range segs {
+		sg := &segs[si]
+		if sg.N <= 0 {
+			continue
+		}
+		m := sg.N
+		if p := d.intPower; p != nil {
+			m = p.FundWhole(sg.Blk.unitPJ, sg.N)
+			if m == 0 {
+				break
+			}
+		}
+		last = d.accountBlockOps(sg.Blk, int64(m))
+		// Region sizes: the train's first funded iteration closes the open
+		// region (handled below via firstUnit); every later iteration spans
+		// exactly its own block's unitOps.
+		if total == 0 {
+			firstUnit = sg.Blk.unitOps
+			if m > 1 && sg.Blk.unitOps > maxUnit {
+				maxUnit = sg.Blk.unitOps
+			}
+		} else if sg.Blk.unitOps > maxUnit {
+			maxUnit = sg.Blk.unitOps
+		}
+		total += m
+		pjTotal += sg.Blk.unitPJ * int64(m)
+		if m < sg.N {
+			break
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	d.section = last.sec
+	d.secStats = last.stats
+	if first := d.opsInRegion + firstUnit; first > d.stats.MaxRegionOps {
+		d.stats.MaxRegionOps = first
+	}
+	if maxUnit > d.stats.MaxRegionOps {
+		d.stats.MaxRegionOps = maxUnit
+	}
+	d.opsInRegion = 0
+	d.rebootsSinceProgress = 0
+	if d.wastedTrack {
+		d.pjNow += pjTotal
+		d.commitNJ = float64(d.pjNow) * 1e-3
+	}
+	return total
 }

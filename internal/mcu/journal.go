@@ -106,6 +106,9 @@ func (d *Device) StartJournal(stride int) *Journal {
 	if stride <= 0 {
 		stride = DefaultSnapStride
 	}
+	// Ops before this point ran on the fast path, which does not maintain
+	// the incremental mirror; resync it so recorded positions are exact.
+	d.opsTotal = d.opsNow()
 	j := &Journal{
 		d:          d,
 		stride:     int64(stride),
@@ -116,6 +119,7 @@ func (d *Device) StartJournal(stride int) *Journal {
 	}
 	d.journal = j
 	d.FRAM.SetObserver(j)
+	d.refreshSlowOp()
 	return j
 }
 
@@ -127,6 +131,7 @@ func (d *Device) StopJournal() {
 	}
 	d.FRAM.SetObserver(nil)
 	d.journal = nil
+	d.refreshSlowOp()
 }
 
 // Snapshots reports the snapshot-train length (for tests and diagnostics).
@@ -347,7 +352,6 @@ func (j *Journal) RestorePrefix(fork *Device, b int64) error {
 			ei++
 		}
 		k := j.tape[int(pos-j.base)-1]
-		st.OpCount[k]++
 		secStats.OpCount[k]++
 	}
 	// Section changes after the last prefix op but before the failing op.

@@ -43,7 +43,7 @@ func (d *Device) Snapshot() (*DeviceSnapshot, error) {
 		power:                snapper.SnapshotState(),
 		stats:                cloneStats(&d.stats),
 		section:              d.section,
-		opsTotal:             d.opsTotal,
+		opsTotal:             d.opsNow(),
 		opsInRegion:          d.opsInRegion,
 		rebootsSinceProgress: d.rebootsSinceProgress,
 		batchOps:             d.batchOps,

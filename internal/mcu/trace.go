@@ -155,6 +155,7 @@ func (d *Device) SetTracer(t Tracer) {
 	d.traceMask = 0
 	d.batchTrace = false
 	if t == nil {
+		d.refreshSlowOp()
 		return
 	}
 	d.traceMask = TraceMaskAll
@@ -162,6 +163,7 @@ func (d *Device) SetTracer(t Tracer) {
 		d.traceMask = m.TraceMask()
 	}
 	d.batchTrace = d.traceMask>>uint(TraceOpBatch)&1 == 1
+	d.refreshSlowOp()
 	if lv, ok := d.Power.(interface{ LevelNJ() float64 }); ok {
 		d.levelFn = lv.LevelNJ
 	}

@@ -108,6 +108,8 @@ type Server struct {
 	deduped   atomic.Int64
 	campaigns atomic.Int64
 	devices   atomic.Int64
+	ops       atomic.Int64 // charged ops across all completed campaigns
+	busyNS    atomic.Int64 // wall time the runner spent inside campaigns
 
 	provMu sync.Mutex
 	prov   fleet.ProvisionStats
@@ -147,7 +149,9 @@ func (s *Server) runner() {
 		}
 		j.setStatus(StatusRunning)
 		s.campaigns.Add(1)
+		start := time.Now()
 		res, err := j.campaign.Run(j.ctx, s.opt.Workers)
+		s.busyNS.Add(time.Since(start).Nanoseconds())
 		switch {
 		case err == nil:
 			s.finalize(j, StatusDone, res, nil)
@@ -171,6 +175,7 @@ func (s *Server) finalize(j *job, st Status, res *fleet.Result, err error) {
 		v := res.Agg.Summary()
 		sum, done = &v, res.Done
 		s.devices.Add(int64(res.Agg.Devices))
+		s.ops.Add(res.Agg.Ops)
 		s.provMu.Lock()
 		s.prov.Add(res.Provision)
 		s.provMu.Unlock()
@@ -207,25 +212,43 @@ func (s *Server) retire(j *job) {
 // the provisioning tests that pooled campaigns restore devices instead of
 // re-deploying them.
 type Stats struct {
-	Submitted        int64                `json:"submitted"`
-	Deduped          int64                `json:"deduped"`
-	CampaignsRun     int64                `json:"campaigns_run"`
-	DevicesSimulated int64                `json:"devices_simulated"`
-	Provision        fleet.ProvisionStats `json:"provision"`
+	Submitted        int64 `json:"submitted"`
+	Deduped          int64 `json:"deduped"`
+	CampaignsRun     int64 `json:"campaigns_run"`
+	DevicesSimulated int64 `json:"devices_simulated"`
+	// OpsCharged is the cumulative charged-op total across every device
+	// the server has simulated; BusySeconds is the wall time the runner
+	// spent inside campaigns. Their ratios below are the fleet operator's
+	// throughput readout — how much simulated work this server retires
+	// per second of campaign time.
+	OpsCharged    int64                `json:"ops_charged"`
+	BusySeconds   float64              `json:"busy_s"`
+	OpsPerSec     float64              `json:"ops_per_sec"`
+	DevicesPerSec float64              `json:"devices_per_sec"`
+	Provision     fleet.ProvisionStats `json:"provision"`
 }
 
-// Stats returns the counter snapshot.
+// Stats returns the counter snapshot. Throughput rates divide cumulative
+// work by cumulative campaign wall time, so they are lifetime averages
+// (zero until the first campaign finishes accruing time).
 func (s *Server) Stats() Stats {
 	s.provMu.Lock()
 	prov := s.prov
 	s.provMu.Unlock()
-	return Stats{
+	st := Stats{
 		Submitted:        s.submitted.Load(),
 		Deduped:          s.deduped.Load(),
 		CampaignsRun:     s.campaigns.Load(),
 		DevicesSimulated: s.devices.Load(),
+		OpsCharged:       s.ops.Load(),
+		BusySeconds:      float64(s.busyNS.Load()) / 1e9,
 		Provision:        prov,
 	}
+	if st.BusySeconds > 0 {
+		st.OpsPerSec = float64(st.OpsCharged) / st.BusySeconds
+		st.DevicesPerSec = float64(st.DevicesSimulated) / st.BusySeconds
+	}
+	return st
 }
 
 // Shutdown drains the server: new submissions are rejected immediately,

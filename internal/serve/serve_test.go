@@ -459,6 +459,66 @@ func TestServeConcurrentDoneReads(t *testing.T) {
 	wg.Wait()
 }
 
+// TestServeThroughputCounters: after a campaign completes, /stats reports
+// the fleet's cumulative charged-op total and positive ops/sec and
+// devices/sec throughput rates, and the HTTP wire form carries the new
+// fields. A second identical submission is deduped, so the cumulative
+// counters must not move.
+func TestServeThroughputCounters(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	d, _ := postSpec(t, ts, tinySpec(200))
+	waitStatus(t, ts, d.ID, StatusDone)
+
+	st := s.Stats()
+	if st.OpsCharged <= 0 {
+		t.Fatalf("OpsCharged = %d after a completed 200-device campaign", st.OpsCharged)
+	}
+	// Each completed device charges at least one op per inference, so the
+	// fleet total must dominate the device count by orders of magnitude.
+	if st.OpsCharged < st.DevicesSimulated {
+		t.Fatalf("OpsCharged = %d < DevicesSimulated = %d", st.OpsCharged, st.DevicesSimulated)
+	}
+	if st.BusySeconds <= 0 {
+		t.Fatalf("BusySeconds = %v after a completed campaign", st.BusySeconds)
+	}
+	if st.OpsPerSec <= 0 || st.DevicesPerSec <= 0 {
+		t.Fatalf("throughput rates not positive: ops/s=%v dev/s=%v", st.OpsPerSec, st.DevicesPerSec)
+	}
+	if got := st.OpsPerSec * st.BusySeconds; got < float64(st.OpsCharged)*0.999 || got > float64(st.OpsCharged)*1.001 {
+		t.Fatalf("OpsPerSec inconsistent with OpsCharged/BusySeconds: %v * %v = %v, want %d",
+			st.OpsPerSec, st.BusySeconds, got, st.OpsCharged)
+	}
+
+	// Wire form: GET /stats must expose the counters and rates.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Stats Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stats.OpsCharged != st.OpsCharged {
+		t.Fatalf("/stats ops_charged = %d, want %d", doc.Stats.OpsCharged, st.OpsCharged)
+	}
+	if doc.Stats.OpsPerSec <= 0 || doc.Stats.DevicesPerSec <= 0 {
+		t.Fatalf("/stats rates not positive: %+v", doc.Stats)
+	}
+
+	// A deduped resubmission answers from the finished job without
+	// simulating a device, so work counters must be unchanged.
+	if _, code := postSpec(t, ts, tinySpec(200)); code != http.StatusOK {
+		t.Fatalf("dedup resubmit status = %d, want 200", code)
+	}
+	after := s.Stats()
+	if after.OpsCharged != st.OpsCharged || after.DevicesSimulated != st.DevicesSimulated {
+		t.Fatalf("dedup moved work counters: before %+v after %+v", st, after)
+	}
+}
+
 // TestServeFinishedJobEviction: with a small retention bound, the oldest
 // terminal job is evicted — its id 404s, and resubmitting its spec runs a
 // fresh campaign instead of hitting the dedup cache.

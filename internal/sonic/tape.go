@@ -35,6 +35,15 @@ func TapeLayerFn(p *tape.Program) LayerFn {
 			src, dst := ActBufs(s.Img, parity)
 			s.Dev.SetSection(tl.Name, mcu.PhaseControl)
 			s.tapePoolLayer(l, tl, src, dst, start)
+		case dnn.QSparseDense:
+			if s.SparseViaBuffering {
+				s.RunLayerSoftware(li, parity, start)
+				break
+			}
+			tl := &p.Layers[li]
+			src, dst := ActBufs(s.Img, parity)
+			s.Dev.SetSection(tl.Name, mcu.PhaseControl)
+			s.tapeSparseLayer(l, tl, src, dst, start)
 		default:
 			s.RunLayerSoftware(li, parity, start)
 		}
@@ -215,6 +224,175 @@ func (s *Exec) tapeConvLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.R
 			s.Checkpoint(Cursor{Layer: start.Layer, Pass: start.Pass, I: i + 1})
 			i++
 		}
+	}
+}
+
+// tapeSparseLayer is sparseLayer with the CSR row walk fused end-to-end:
+// instead of charging one row at a time (re-probing RowPtr at every row
+// boundary on the host), it builds a charge *train* over the compiled span
+// tables — one variable-profile segment per row remainder plus one
+// boundary segment per row advance, with the advance's extra branch and
+// probe-load ops pre-derived from consecutive SpRow differences — and
+// funds the whole remaining layer in a single ChargeTrain call.
+// kern.CSRSpans then executes exactly the funded iterations across row
+// boundaries, committing each touched row's accumulator and one coalesced
+// cursor at the end. ChargeTrain drains the same integer pJ at the same
+// iteration boundaries as per-row ChargeBlock and the scalar walk, so
+// brown-outs land at identical op indices with identical partial energy
+// and the interpreted path remains a bit-exact oracle
+// (TestTapeInterpreterDifferential, the fork oracle).
+//
+// The one resume iteration whose undo-log read index is already past
+// (rd > pos) stays scalar, exactly as in sparseLayer; after it executes,
+// rd == pos and the train resumes.
+func (s *Exec) tapeSparseLayer(l *core.LayerImage, tl *tape.Layer, src, dst *mem.Region, start Cursor) {
+	if !s.canFuse() {
+		// Observed or scalar-forced device: the interpreted walk already
+		// issues the canonical scalar op stream.
+		s.sparseLayer(l, tl.Name, src, dst, start)
+		return
+	}
+	q := l.Q
+	dev := s.Dev
+	acc := s.Img.AccA
+	ctl := s.Img.Ctl
+	nnz := len(q.W)
+	name := tl.Name
+	tokK := dev.SectionToken(name, mcu.PhaseKernel)
+	tokC := dev.SectionToken(name, mcu.PhaseControl)
+	var per int
+
+	switch start.Pass {
+	case 0:
+		blkZero, perZ := s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		accW := acc.Words()
+		s.fuseMap(tokK, tokC, blkZero, perZ, start, q.Out, func(i0, m int) {
+			kern.Zero(accW, i0, m)
+		}, func(o int) {
+			dev.Store(acc, o, 0)
+		})
+		dev.Store(ctl, slotRead, 0)
+		start = Cursor{Layer: start.Layer, Pass: 1}
+		s.Transition(name, start)
+		fallthrough
+	case 1:
+		// In-row iteration profile (identical to sparseLayer's blkRow): one
+		// branch, seven loads (the failing RowPtr probe, the read index,
+		// the original partial, the canonical slot, weight, column,
+		// activation), the three-store two-phase update, and the MAC.
+		blkRow := s.forceUnitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 7},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 3},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1})
+		// Boundary iterations add one successful RowPtr probe (a branch
+		// and a load) per row advanced; cache one block per distinct
+		// advance count (networks have very few).
+		var bnd map[int]*mcu.Block
+		bndBlock := func(adv int) *mcu.Block {
+			if adv == 0 {
+				return blkRow
+			}
+			if b, ok := bnd[adv]; ok {
+				return b
+			}
+			b := s.forceUnitBlock(tokC,
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1 + adv},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 7 + adv},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 3},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedMul, N: 1},
+				mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1})
+			if bnd == nil {
+				bnd = make(map[int]*mcu.Block)
+			}
+			bnd[adv] = b
+			return b
+		}
+		spStart, spLen, spRow, spanOf := tl.SpStart, tl.SpLen, tl.SpRow, tl.SpanOf
+		wW, colsW, srcW := l.W.ROWords(), l.Cols.ROWords(), src.ROWords()
+		accW := acc.Words()
+		var segs []mcu.TrainSeg
+		row := start.I
+		for pos := start.Pos; pos < nnz; {
+			if int(ctl.Get(slotRead)) <= pos {
+				// Build the remaining layer as a segment train from the
+				// live (pos, row) state; ChargeTrain funds a prefix.
+				si := int(spanOf[pos])
+				segs = segs[:0]
+				p, r := pos, row
+				for sj := si; p < nnz; sj++ {
+					end := int(spStart[sj]) + int(spLen[sj])
+					inRow := end - p
+					if adv := int(spRow[sj]) - r; adv > 0 {
+						segs = append(segs, mcu.TrainSeg{Blk: bndBlock(adv), N: 1})
+						inRow--
+						p++
+					}
+					if inRow > 0 {
+						segs = append(segs, mcu.TrainSeg{Blk: blkRow, N: inRow})
+						p += inRow
+					}
+					r = int(spRow[sj])
+				}
+				if n := dev.ChargeTrain(segs); n > 0 {
+					endPos, _, lastRow, canon := kern.CSRSpans(wW, colsW, srcW, accW, spStart, spLen, spRow, si, pos, n)
+					pos = endPos
+					row = lastRow
+					ctl.Put(slotCanonical, canon)
+					ctl.Put(slotRead, int64(pos))
+					s.fuseCommit(Cursor{Layer: start.Layer, Pass: 1, Pos: pos, I: row})
+					continue
+				}
+			}
+			// Scalar iteration: the brown-out boundary (first unfunded
+			// iteration) and the rd > pos resume, verbatim from
+			// sparseLayer.
+			dev.SetSectionTok(tokK)
+			dev.Op(mcu.OpBranch)
+			for int(dev.Load(l.RowPtr, row+1)) <= pos {
+				dev.Op(mcu.OpBranch)
+				row++
+			}
+			rd := int(dev.Load(ctl, slotRead))
+			if rd <= pos {
+				orig := dev.Load(acc, row)
+				dev.Store(ctl, slotCanonical, orig)
+				dev.Store(ctl, slotRead, int64(pos+1))
+				dev.MarkLogged(acc, row)
+			}
+			canon := fixed.Acc(dev.Load(ctl, slotCanonical))
+			wv := fixed.Q15(dev.Load(l.W, pos))
+			col := int(dev.Load(l.Cols, pos))
+			x := fixed.Q15(dev.Load(src, col))
+			dev.Op(mcu.OpFixedMul)
+			dev.Op(mcu.OpFixedAdd)
+			dev.Store(acc, row, int64(canon.MAC(wv, x)))
+			dev.SetSectionTok(tokC)
+			s.ForceCheckpoint(Cursor{Layer: start.Layer, Pass: 1, Pos: pos + 1, I: row})
+			pos++
+		}
+		start = Cursor{Layer: start.Layer, Pass: 2}
+		s.Transition(name, start)
+		fallthrough
+	default:
+		var blkFin *mcu.Block
+		blkFin, per = s.unitBlock(tokC,
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpBranch, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpLoadFRAM, N: 2},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpFixedAdd, N: 1},
+			mcu.BlockOp{Tok: tokK, Kind: mcu.OpStoreFRAM, N: 1})
+		accW, bW, dstW := acc.ROWords(), l.B.ROWords(), dst.Words()
+		s.fuseMap(tokK, tokC, blkFin, per, start, q.Out, func(i0, m int) {
+			kern.FinalizeVec(dstW, accW, bW, i0, i0, m, q.Shift)
+		}, func(o int) {
+			bq := fixed.Q15(dev.Load(l.B, o))
+			a := fixed.Acc(dev.Load(acc, o))
+			dev.Op(mcu.OpFixedAdd)
+			dev.Store(dst, o, int64(a.AddQ(bq).SatShiftSigned(q.Shift)))
+		})
 	}
 }
 

@@ -54,6 +54,17 @@ type Layer struct {
 	// window's top-left element.
 	PoolBase []int32
 
+	// Sparse CSR span tables (QSparseDense). Spans enumerate the rows
+	// owning at least one nonzero, in nonzero order, so the sparse
+	// executor walks rows without ever probing RowPtr word by word at run
+	// time; row-advance branch counts fall out of consecutive SpRow
+	// differences (the pre-derived form of the scalar walk's RowPtr
+	// probes).
+	SpStart []int32 // span s -> first nonzero index (RowPtr[row])
+	SpLen   []int32 // span s -> nonzero count of the row
+	SpRow   []int32 // span s -> owning row index
+	SpanOf  []int32 // nonzero pos -> owning span index
+
 	// TAILS dense-conv tables (QConv with no NZ list): the accelerated
 	// path iterates (output row r, filter-element generation g) instead
 	// of (element, position), so both axes pre-decode separately.
@@ -146,7 +157,12 @@ func Compile(qm *dnn.QuantModel) *Program {
 			if n := q.InShape.Len(); n > p.maxOut {
 				p.maxOut = n
 			}
-		case dnn.QDense, dnn.QSparseDense:
+		case dnn.QDense:
+			if q.Out > p.maxOut {
+				p.maxOut = q.Out
+			}
+		case dnn.QSparseDense:
+			compileSparse(q, tl)
 			if q.Out > p.maxOut {
 				p.maxOut = q.Out
 			}
@@ -221,6 +237,31 @@ func compileConv(q *dnn.QuantLayer, tl *Layer) {
 			ci, ky := g/q.KH, g%q.KH
 			tl.GenSrc[g] = int32((ci*h + ky) * w)
 			tl.GenCoef[g] = int32(g * q.KW)
+		}
+	}
+}
+
+// compileSparse fills the CSR span tables: one span per row owning at
+// least one nonzero, in nonzero order, with the position→span back-map
+// used to resume mid-layer. Row lengths are clamped to the nonzero count
+// exactly as the interpreted walk clamps RowPtr[row+1].
+func compileSparse(q *dnn.QuantLayer, tl *Layer) {
+	nnz := int32(len(q.W))
+	tl.SpanOf = make([]int32, nnz)
+	for row := 0; row+1 < len(q.RowPtr); row++ {
+		s, e := q.RowPtr[row], q.RowPtr[row+1]
+		if e > nnz {
+			e = nnz
+		}
+		if e <= s {
+			continue // empty row: never executed, only advanced over
+		}
+		si := int32(len(tl.SpStart))
+		tl.SpStart = append(tl.SpStart, s)
+		tl.SpLen = append(tl.SpLen, e-s)
+		tl.SpRow = append(tl.SpRow, int32(row))
+		for p := s; p < e; p++ {
+			tl.SpanOf[p] = si
 		}
 	}
 }

@@ -238,19 +238,44 @@ func (rt *Runtime) replayAndFinish() {
 	dev.SetSection(layer, mcu.PhaseTransition)
 	n := int(dev.Load(rt.state, stCount))
 	dev.Emit(mcu.TraceTaskCommitReplay, layer, int64(n))
-	// The log is contiguous, so its reads charge as one bulk batch; the
-	// home-location writes scatter and stay scalar.
+	// The log is contiguous, so its reads charge as one bulk batch. The
+	// home-location writes commit in maximal consecutive-address runs:
+	// bulk WriteRange appends contiguous spans to the log, so most of a
+	// tile's entries replay as a handful of StoreRange batches — each
+	// charging exactly one store per word of the same kind the scalar
+	// loop would, so the brown-out lands on the identical op. Scattered
+	// leftovers fall back to the scalar store.
 	dev.LoadRange(rt.log, 0, 2*n)
-	for j := 0; j < n; j++ {
-		addr := rt.log.Get(2 * j)
-		val := rt.log.Get(2*j + 1)
+	lw := rt.log.ROWords()
+	for j := 0; j < n; {
+		addr := lw[2*j]
 		region, idx := rt.decode(addr)
-		// The home write is redo-logged: once stPhase is durably
-		// phaseCommit the task body never re-reads the old value, and a
-		// failure mid-replay rewrites the word from the log. Not a WAR
-		// hazard even though the body read this word earlier.
-		dev.MarkLogged(region, idx)
-		dev.Store(region, idx, val)
+		run := j + 1
+		for run < n && lw[2*run] == addr+int64(run-j) {
+			run++
+		}
+		// The home writes are redo-logged: once stPhase is durably
+		// phaseCommit the task body never re-reads the old values, and a
+		// failure mid-replay rewrites the words from the log. Not a WAR
+		// hazard even though the body read these words earlier.
+		if m := run - j; m >= 4 {
+			if cap(rt.logScratch) < m {
+				rt.logScratch = make([]int64, m)
+			}
+			vals := rt.logScratch[:m]
+			for t := 0; t < m; t++ {
+				vals[t] = lw[2*(j+t)+1]
+			}
+			dev.MarkLoggedRange(region, idx, m)
+			dev.StoreRange(region, idx, vals)
+			j = run
+			continue
+		}
+		for ; j < run; j++ {
+			r, i := rt.decode(lw[2*j])
+			dev.MarkLogged(r, i)
+			dev.Store(r, i, lw[2*j+1])
+		}
 	}
 	dev.Store(rt.state, stCur, dev.Load(rt.state, stNext))
 	dev.Store(rt.state, stCount, 0)
@@ -385,8 +410,10 @@ func (c *Ctx) WriteRange(r *mem.Region, i int, vals []int64) bool {
 	// state region is protocol-exempt from WAR tracking, so charging them
 	// as bulk FRAM ops is observationally identical to n scalar accesses.
 	dev.Ops(mcu.OpLoadFRAM, n)
-	for j := 0; j < n; j++ {
-		dev.Emit(mcu.TracePrivatize, r.Name, int64(n0+j))
+	if dev.Tracer() != nil {
+		for j := 0; j < n; j++ {
+			dev.Emit(mcu.TracePrivatize, r.Name, int64(n0+j))
+		}
 	}
 	if cap(rt.logScratch) < 2*n {
 		rt.logScratch = make([]int64, 2*n)
@@ -405,6 +432,54 @@ func (c *Ctx) WriteRange(r *mem.Region, i int, vals []int64) bool {
 		slots[i+j] = int32(n0 + j)
 		marks[i+j] = epoch
 	}
+	return true
+}
+
+// AccumulateRow is the bulk form of k successive read-modify-write pairs
+// (Read then Write) on the single word r[i], as a CSR row walk performs on
+// its row's partial accumulator: the first pair reads the home location and
+// appends a fresh redo-log entry, each later pair reads and rewrites that
+// log slot in place. It charges the scalar sequence's exact op multiset —
+// 2k privatization lookups, one home load (shadow-recorded), one log
+// append (log-count load, two log stores, log-count store), and k-1
+// in-place log loads and stores — and installs final as the entry's value;
+// the k-1 intermediate values are never materialized, which is unobservable
+// because an execution-phase failure restarts the task and resets the log
+// before any of them could be read. The per-pair arithmetic op (FixedAdd)
+// stays with the caller, as do the operand loads. Returns false without
+// side effects when r[i] is already privatized — the scalar in-place
+// update applies then — so callers can fall back per pair.
+func (c *Ctx) AccumulateRow(r *mem.Region, i, k int, final int64) bool {
+	rt := c.rt
+	if k <= 0 {
+		return true
+	}
+	id := rt.regionID(r)
+	if rt.wsMark[id][i] == rt.wsEpoch {
+		return false
+	}
+	dev := rt.dev
+	n := int(rt.state.Get(stCount))
+	if n >= rt.cap {
+		panic(fmt.Sprintf("task: redo log overflow (%d entries): task writes too much task-shared data", rt.cap))
+	}
+	dev.Ops(mcu.OpPrivatize, 2*k)
+	dev.LoadRange(r, i, 1) // first pair's home read
+	dev.Ops(mcu.OpLoadFRAM, 1)
+	dev.Emit(mcu.TracePrivatize, r.Name, int64(n))
+	if cap(rt.logScratch) < 2 {
+		rt.logScratch = make([]int64, 2)
+	}
+	entry := rt.logScratch[:2]
+	entry[0], entry[1] = rt.pack(id, i), final
+	dev.StoreRange(rt.log, 2*n, entry)
+	dev.Ops(mcu.OpStoreFRAM, 1)
+	rt.state.Put(stCount, int64(n+1))
+	// Later pairs: read and rewrite the log slot in place.
+	dev.Ops(mcu.OpLoadFRAM, k-1)
+	dev.Ops(mcu.OpStoreFRAM, k-1)
+	rt.wsSlot[id][i] = int32(n)
+	rt.wsMark[id][i] = rt.wsEpoch
 	return true
 }
 
